@@ -1,0 +1,32 @@
+# Convenience targets for the RIT reproduction.
+
+PY ?= python
+
+.PHONY: install test bench bench-json smoke paper report examples clean
+
+install:
+	pip install -e .
+
+test:
+	$(PY) -m pytest tests/
+
+bench:
+	$(PY) -m pytest benchmarks/ --benchmark-only
+
+bench-json:
+	$(PY) -m pytest benchmarks/ --benchmark-only --benchmark-json=bench_results.json
+
+smoke:
+	RIT_SCALE=smoke $(PY) -m pytest tests/ benchmarks/ --benchmark-only -q
+
+paper:
+	RIT_SCALE=paper $(PY) -m repro report --out paper_scale_report.md
+
+report:
+	$(PY) -m repro report --out report.md
+
+examples:
+	@for f in examples/*.py; do echo "== $$f"; $(PY) $$f; echo; done
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .hypothesis

@@ -1,0 +1,28 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one paper figure at the active scale
+(``RIT_SCALE`` env var: ``smoke`` / ``default`` / ``paper``) and prints the
+same rows the paper plots, so ``pytest benchmarks/ --benchmark-only`` doubles
+as the reproduction driver behind EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulation.reporting import format_result
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    Experiments are minutes-scale; multiple benchmark rounds would be
+    wasteful and add nothing (each experiment already averages over
+    repetitions internally).
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def show(result) -> None:
+    print()
+    print(format_result(result))

@@ -1,0 +1,204 @@
+"""Ablations over RIT's design choices (beyond the paper's figures).
+
+DESIGN.md calls out four load-bearing choices; each gets a benchmark:
+
+* **tree decay γ** — sybil-proofness of the chain attack needs γ <= 1/2;
+  the ablation measures a chain attacker's gain at γ ∈ {0.25, 0.5, 0.75}
+  and shows the γ = 0.75 variant leaks utility to the attacker.
+* **round-budget policy** — completion rate and truthfulness-bound
+  trade-off across lemma / paper / until-complete.
+* **log base in the Lemma 6.2 bound** — budget tables under log10 (the
+  paper's numerics) vs log2 (classical consensus accounting).
+* **CRA microbenchmark** — the per-round cost on large unit-ask vectors,
+  the quantity behind Fig. 8's linear scaling.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.analysis.theory import budget_table
+from repro.core.cra import cra
+from repro.core.payments import tree_payments
+from repro.core.rit import RIT
+from repro.core.types import Job
+from repro.tree.incentive_tree import ROOT, IncentiveTree
+from repro.workloads.scenarios import paper_scenario
+from repro.workloads.users import UserDistribution
+
+
+class TestDecayAblation:
+    def _chain_gain(self, decay):
+        """Payment-level gain of a 3-chain split under a given decay."""
+        tree = IncentiveTree()
+        tree.attach(1, ROOT)
+        tree.attach(2, 1)     # victim
+        tree.attach(3, 2)     # recruit of other type
+        pays = {2: 4.0, 3: 8.0}
+        types = {1: 0, 2: 1, 3: 2}
+        honest = tree_payments(tree, pays, types, decay=decay)[2]
+
+        attacked = IncentiveTree()
+        attacked.attach(1, ROOT)
+        attacked.attach(10, 1)
+        attacked.attach(11, 10)
+        attacked.attach(12, 11)
+        attacked.attach(3, 12)
+        pays2 = {10: 4.0, 3: 8.0}
+        types2 = {1: 0, 10: 1, 11: 1, 12: 1, 3: 2}
+        split = tree_payments(attacked, pays2, types2, decay=decay)
+        return sum(split[i] for i in (10, 11, 12)) - honest
+
+    def test_decay_half_is_the_sybil_proof_boundary(self, benchmark):
+        gains = benchmark.pedantic(
+            lambda: {d: self._chain_gain(d) for d in (0.25, 0.5, 0.75)},
+            rounds=1, iterations=1,
+        )
+        print()
+        for decay, gain in gains.items():
+            verdict = "safe" if gain <= 1e-9 else "ATTACKER GAINS"
+            print(f"  decay={decay}: chain-split gain {gain:+.4f} ({verdict})")
+        assert gains[0.25] <= 1e-9
+        assert gains[0.5] <= 1e-9
+        assert gains[0.75] > 0, "decay > 1/2 must leak utility to chains"
+
+
+class TestBudgetPolicyAblation:
+    def test_completion_vs_guarantee(self, benchmark):
+        """At a Fig. 9-like scale, 'lemma' always voids, 'paper' completes
+        sometimes, 'until-complete' always completes."""
+        job = Job.uniform(5, 30)
+        scenario = paper_scenario(
+            800, job, rng=42,
+            distribution=UserDistribution(num_types=5),
+            supply_threshold=True,
+        )
+        asks = scenario.truthful_asks()
+
+        def measure():
+            rates = {}
+            for policy in ("lemma", "paper", "until-complete"):
+                mech = RIT(h=0.8, round_budget=policy)
+                done = sum(
+                    mech.run(job, asks, scenario.tree, rng=seed).completed
+                    for seed in range(10)
+                )
+                rates[policy] = done / 10
+            return rates
+
+        rates = benchmark.pedantic(measure, rounds=1, iterations=1)
+        print()
+        for policy, rate in rates.items():
+            bound = RIT(h=0.8, round_budget=policy).truthful_probability_bound(job, 20)
+            print(f"  {policy:15s}: completion {rate:4.0%}   "
+                  f"theoretical truthfulness bound {bound:.3f}")
+        assert rates["lemma"] == 0.0
+        assert rates["until-complete"] == 1.0
+        assert rates["paper"] <= rates["until-complete"]
+
+
+class TestLogBaseAblation:
+    def test_budget_tables(self, benchmark):
+        def tables():
+            return {
+                base: budget_table(0.8, 10, 20, [1000, 3000, 5000], log_base=base)
+                for base in (10.0, 2.0)
+            }
+
+        result = benchmark.pedantic(tables, rounds=1, iterations=1)
+        print()
+        for base, rows in result.items():
+            label = "log10 (paper numerics)" if base == 10 else "log2 (classical)"
+            for m_i, bound, budget in rows:
+                print(f"  {label:24s} m_i={m_i:5d}: bound {bound:.4f}, "
+                      f"budget {budget}")
+        # log2 penalizes the consensus term harder -> smaller budgets.
+        for (m10, _, b10), (m2, _, b2) in zip(result[10.0], result[2.0]):
+            assert b2 <= b10
+
+
+class TestQualityAblation:
+    def test_quality_awareness_buys_effective_coverage(self, benchmark):
+        """The quality-aware extension (repro.quality) vs plain RIT on the
+        same scenario: quality-adjusted selection should deliver more
+        effective sensing value per task at comparable completion."""
+        from repro.quality import QualityAwareRIT, uniform_qualities
+
+        job = Job.uniform(4, 30)
+        scenario = paper_scenario(
+            600, job, rng=7, distribution=UserDistribution(num_types=4)
+        )
+        qualities = uniform_qualities(scenario.population, low=0.3, rng=8)
+        asks = scenario.truthful_asks()
+
+        def measure():
+            plain = RIT(round_budget="until-complete")
+            aware = QualityAwareRIT(qualities, RIT(round_budget="until-complete"))
+            cov = {"plain": [], "aware": []}
+            for seed in range(8):
+                p = plain.run(job, asks, scenario.tree, rng=seed)
+                a = aware.run(job, asks, scenario.tree, rng=seed)
+                if p.completed:
+                    cov["plain"].append(
+                        sum(x * qualities[uid] for uid, x in p.allocation.items())
+                        / p.total_allocated
+                    )
+                if a.completed:
+                    cov["aware"].append(aware.effective_coverage(a) / a.total_allocated)
+            return {
+                k: sum(v) / len(v) if v else 0.0 for k, v in cov.items()
+            }
+
+        result = benchmark.pedantic(measure, rounds=1, iterations=1)
+        print()
+        print(f"  mean quality per allocated task: plain {result['plain']:.3f}  "
+              f"quality-aware {result['aware']:.3f}")
+        assert result["aware"] > result["plain"], result
+
+
+class TestCRAMicrobench:
+    @pytest.mark.parametrize("size", [1_000, 10_000, 100_000])
+    def test_cra_round_cost(self, benchmark, size):
+        gen = np.random.default_rng(0)
+        values = gen.uniform(0.1, 10.0, size=size)
+
+        seeds = itertools.count()
+
+        def round_once():
+            return cra(values, 500, 500, np.random.default_rng(next(seeds)))
+
+        result = benchmark(round_once)
+        assert result.num_winners <= 500
+
+
+class TestSampleRateAblation:
+    def test_larger_samples_cut_prices_and_completion_stays(self, benchmark):
+        """DESIGN.md's last ablation: scaling CRA's sample probability.
+        Bigger samples push the price candidate (the sampled minimum)
+        down, lowering platform spend — the flip side is a larger E_s
+        manipulation surface (Lemma 6.2's sample term scales with it)."""
+        job = Job.uniform(4, 60)
+        scenario = paper_scenario(
+            800, job, rng=11, distribution=UserDistribution(num_types=4)
+        )
+        asks = scenario.truthful_asks()
+
+        def measure():
+            spend = {}
+            for scale in (0.5, 1.0, 2.0, 4.0):
+                mech = RIT(round_budget="until-complete",
+                           sample_rate_scale=scale)
+                totals = []
+                for seed in range(8):
+                    out = mech.run(job, asks, scenario.tree, rng=seed)
+                    if out.completed:
+                        totals.append(out.total_auction_payment)
+                spend[scale] = sum(totals) / len(totals) if totals else float("nan")
+            return spend
+
+        spend = benchmark.pedantic(measure, rounds=1, iterations=1)
+        print()
+        for scale, total in spend.items():
+            print(f"  sample_rate x{scale}: mean auction spend {total:,.1f}")
+        assert spend[4.0] < spend[0.5], spend

@@ -1,0 +1,75 @@
+"""Extension experiments as benchmarks (beyond the paper's figures).
+
+These regenerate the DESIGN.md ablation studies built on top of the
+paper's setup: the H trade-off, d-truthfulness against distinct-user
+cartels, and the solicitation-structure effect on the referral outlay.
+"""
+
+from conftest import run_once, show
+
+from repro.simulation.extensions import (
+    coalition_sweep,
+    h_sweep,
+    supply_sweep,
+    tree_shape_sweep,
+)
+
+
+def test_h_sweep(benchmark):
+    result = run_once(benchmark, h_sweep, rng=100)
+    show(result)
+    budgets = result.get("lemma round budget").means
+    assert budgets == sorted(budgets, reverse=True), (
+        "the Lemma budget must shrink as H grows"
+    )
+    # Completion at the weakest guarantee must be at least as good as at
+    # the strongest (budget 0 always voids).
+    completion = result.get("completion rate")
+    assert completion.means[0] >= completion.means[-1]
+
+
+def test_coalition_sweep(benchmark):
+    result = run_once(benchmark, coalition_sweep, rng=101)
+    show(result)
+    relative = result.get("gain / honest total").means
+    # No cartel size extracts a large relative gain at this scale.
+    assert all(g <= 0.25 for g in relative), (
+        f"a cartel extracted a large relative gain: {relative}"
+    )
+
+
+def test_tree_shape_sweep(benchmark):
+    result = run_once(benchmark, tree_shape_sweep, rng=102)
+    show(result)
+    shares = result.get("referral share")
+    star, chain, rand, social = (shares.value_at(i) for i in range(4))
+    assert abs(star) < 1e-9, "a star tree has no solicitation to reward"
+    assert chain <= social, "deep chains must pay fewer referrals than forests"
+    # The §7-C bound: referral outlay never exceeds the auction total.
+    assert all(s <= 1.0 + 1e-9 for s in shares.means)
+
+
+def test_supply_sweep(benchmark):
+    result = run_once(benchmark, supply_sweep, rng=103)
+    show(result)
+    completion = result.get("completion rate")
+    # Remark 6.1's rule: 2x supply completes reliably...
+    assert completion.value_at(2.0) >= 0.8
+    # ...and bare parity does not.
+    assert completion.value_at(1.0) < completion.value_at(2.0)
+    # More supply -> cheaper clearing.
+    prices = result.get("avg clearing price (completed)")
+    finite = [p for p in prices.means if p == p]
+    assert finite == sorted(finite, reverse=True) or len(finite) < 3
+
+
+def test_recruitment_sweep(benchmark):
+    from repro.simulation.extensions import recruitment_sweep
+
+    result = run_once(benchmark, recruitment_sweep, rng=104)
+    show(result)
+    times = result.get("time to supply threshold")
+    # Uptake speeds up the cascade monotonically at the endpoints.
+    assert times.means[-1] <= times.means[0]
+    completion = result.get("RIT completion rate")
+    assert all(0.0 <= m <= 1.0 for m in completion.means)

@@ -1,0 +1,37 @@
+"""Fig. 6 — average user utility (a: vs number of users; b: vs job size).
+
+Paper shapes (§7-C):
+* 6(a): utility decreases as users grow (fiercer competition);
+* 6(b): utility increases with the per-type job size;
+* in both, RIT >= auction phase at every x (solicitation rewards add).
+"""
+
+from conftest import run_once, show
+
+from repro.simulation.experiments import fig6a, fig6b
+
+
+def test_fig6a(benchmark):
+    result = run_once(benchmark, fig6a, rng=60)
+    show(result)
+    rit = result.get("RIT")
+    auction = result.get("auction phase")
+    # Shape 1: competition pushes utility down across the sweep.
+    assert rit.endpoint_trend() < 0, "fig6a: RIT utility should fall with n"
+    assert auction.endpoint_trend() < 0
+    # Shape 2: RIT dominates its own auction phase pointwise.
+    for x in rit.xs:
+        assert rit.value_at(x) >= auction.value_at(x) - 1e-12
+
+
+def test_fig6b(benchmark):
+    result = run_once(benchmark, fig6b, rng=61)
+    show(result)
+    rit = result.get("RIT")
+    auction = result.get("auction phase")
+    # Shape 1: more tasks -> higher average utility.
+    assert rit.endpoint_trend() > 0, "fig6b: RIT utility should rise with m_i"
+    assert auction.endpoint_trend() > 0
+    # Shape 2: RIT dominates the auction phase.
+    for x in rit.xs:
+        assert rit.value_at(x) >= auction.value_at(x) - 1e-12

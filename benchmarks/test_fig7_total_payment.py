@@ -1,0 +1,45 @@
+"""Fig. 7 — total platform payment (a: vs number of users; b: vs job size).
+
+Paper shapes (§7-C):
+* 7(a): total payment does NOT grow remarkably with the user count
+  (demand is fixed; per-task prices fall while referral outlay rises);
+* 7(b): total payment increases with the job size;
+* the RIT-over-auction increment never exceeds the auction total
+  (Σ(p_j − p^A_j) <= Σ p^A_j).
+"""
+
+from conftest import run_once, show
+
+from repro.simulation.experiments import fig7a, fig7b
+
+
+def test_fig7a(benchmark):
+    result = run_once(benchmark, fig7a, rng=70)
+    show(result)
+    rit = result.get("RIT")
+    auction = result.get("auction phase")
+    for x in rit.xs:
+        assert auction.value_at(x) - 1e-9 <= rit.value_at(x), (
+            "referral rewards cannot reduce the total payment"
+        )
+        assert rit.value_at(x) <= 2 * auction.value_at(x) + 1e-9, (
+            "§7-C budget bound: increment <= auction total"
+        )
+    # "does not increase remarkably": the relative swing across a 2x user
+    # sweep stays within a factor ~2 (vs the ~3x swing of fig7b's sweep).
+    means = rit.means
+    assert max(means) <= 2.5 * min(means), (
+        f"fig7a total payment swings too much: {means}"
+    )
+
+
+def test_fig7b(benchmark):
+    result = run_once(benchmark, fig7b, rng=71)
+    show(result)
+    rit = result.get("RIT")
+    auction = result.get("auction phase")
+    assert rit.endpoint_trend() > 0, "fig7b: payment should rise with m_i"
+    assert auction.endpoint_trend() > 0
+    for x in rit.xs:
+        assert auction.value_at(x) - 1e-9 <= rit.value_at(x)
+        assert rit.value_at(x) <= 2 * auction.value_at(x) + 1e-9

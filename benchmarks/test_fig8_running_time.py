@@ -1,0 +1,45 @@
+"""Fig. 8 — running time (a: vs number of users; b: vs job size).
+
+Paper shapes (§7-C): approximately linear growth in both the user count
+and the job size (Theorem 3's O(N·|J|)), with the payment determination
+phase adding only a linear-time increment on top of the auction phase.
+
+Absolute times are host-dependent; the assertions bound the growth *rate*,
+not the values.
+"""
+
+from conftest import run_once, show
+
+from repro.simulation.experiments import fig8a, fig8b
+
+
+def _growth_factor(series):
+    first, last = series.means[0], series.means[-1]
+    return last / max(first, 1e-9)
+
+
+def test_fig8a(benchmark):
+    result = run_once(benchmark, fig8a, rng=80)
+    show(result)
+    rit = result.get("RIT")
+    auction = result.get("auction phase")
+    xs = rit.xs
+    x_ratio = xs[-1] / xs[0]
+    # Roughly-linear: runtime growth within ~4x of the input growth
+    # (generous: wall-clock noise, cache effects, tree-phase constants).
+    assert _growth_factor(rit) <= 4.0 * x_ratio, (
+        f"fig8a runtime grew superlinearly: {rit.means}"
+    )
+    for x in xs:
+        assert rit.value_at(x) >= auction.value_at(x) - 1e-12
+
+
+def test_fig8b(benchmark):
+    result = run_once(benchmark, fig8b, rng=81)
+    show(result)
+    rit = result.get("RIT")
+    xs = rit.xs
+    x_ratio = xs[-1] / xs[0]
+    assert _growth_factor(rit) <= 4.0 * x_ratio, (
+        f"fig8b runtime grew superlinearly: {rit.means}"
+    )

@@ -1,0 +1,50 @@
+"""Fig. 9 — dishonest user utility vs number of sybil identities.
+
+Paper shapes (§7-C):
+* the attacker's total utility decreases as it splits into more
+  identities (sybil-proofness);
+* asking the true cost (5.5) beats the deviated asks (6.25, 6.5) —
+  truthfulness;
+* the honest no-sybil utility is the best overall.
+"""
+
+import numpy as np
+from conftest import run_once, show
+
+from repro.simulation.experiments import fig9
+
+
+def test_fig9(benchmark):
+    result = run_once(benchmark, fig9, rng=90)
+    show(result)
+
+    honest = result.get("honest (no sybil)").means[0]
+    arms = [result.get(f"ask={v:g}") for v in (5.5, 6.25, 6.5)]
+
+    # Shape 1: each arm trends down as identities multiply.  Compare the
+    # first-third mean against the last-third mean to be robust to noise.
+    for series in arms:
+        third = max(1, len(series.means) // 3)
+        early = float(np.mean(series.means[:third]))
+        late = float(np.mean(series.means[-third:]))
+        assert late <= early + 0.1 * max(1.0, abs(early)), (
+            f"{series.name}: attacker utility did not decrease "
+            f"({early:.3f} -> {late:.3f})"
+        )
+
+    # Shape 2: honesty is not dominated by any attack arm on average.
+    for series in arms:
+        avg = float(np.mean(series.means))
+        assert honest >= avg - 0.15 * max(1.0, abs(honest)), (
+            f"{series.name} (avg {avg:.3f}) beats honest ({honest:.3f})"
+        )
+
+    # Shape 3: the truthful ask value is not dominated by the deviated
+    # ones (averaged across identity counts).
+    truthful_avg = float(np.mean(arms[0].means))
+    for series in arms[1:]:
+        deviated_avg = float(np.mean(series.means))
+        assert truthful_avg >= deviated_avg - 0.2 * max(1.0, abs(truthful_avg)), (
+            f"{series.name} (avg {deviated_avg:.3f}) beats the truthful ask "
+            f"(avg {truthful_avg:.3f})"
+        )

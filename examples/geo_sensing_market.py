@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""A geographic sensing market, end to end.
+
+The paper's abstract model (task types, capacities, costs) is grounded in
+geography: areas with points of interest, users who can only serve their
+own area, travel effort as cost.  This demo builds exactly that from raw
+geometry with :mod:`repro.workloads.geo`:
+
+1. lay out sensing regions on a map (each region = one task type; its
+   POIs = tasks);
+2. scatter users around the regions; derive each user's type (nearest
+   region), capacity (proximity) and private cost (travel + effort);
+3. recruit them through a social graph, audit the run with
+   :class:`repro.core.audit.AuditedMechanism`, and report per-region
+   market conditions.
+
+Run:  python examples/geo_sensing_market.py
+"""
+
+import numpy as np
+
+from repro.core import RIT, AuditedMechanism
+from repro.socialnet import twitter_like
+from repro.tree import build_spanning_forest, compute_metrics
+from repro.workloads import (
+    generate_geo_population,
+    generate_regions,
+    job_from_regions,
+)
+
+SEED = 11
+
+
+def main() -> None:
+    rng = np.random.default_rng(SEED)
+
+    # 1. The map: five sensing regions with 20-60 POIs each.
+    regions = generate_regions(5, pois_low=20, pois_high=60, rng=rng)
+    job = job_from_regions(regions)
+    print("regions (center -> POIs):")
+    for i, r in enumerate(regions):
+        print(f"  τ{i}: ({r.center[0]:.2f}, {r.center[1]:.2f}) -> {r.num_pois} POIs")
+
+    # 2. 1,000 users placed around the regions; profiles derived from
+    #    geometry (type = nearest region, capacity ~ proximity,
+    #    cost = travel + effort).
+    population = generate_geo_population(regions, 1000, rng=rng)
+    per_region = [len(population.of_type(t)) for t in range(len(regions))]
+    print(f"\nusers per region: {per_region}")
+
+    # 3. Solicitation through a twitter-like graph, then an audited RIT.
+    graph = twitter_like(len(population), rng=rng, mean_out_degree=10)
+    tree = build_spanning_forest(graph)
+    print(f"incentive tree: {compute_metrics(tree)}")
+
+    mechanism = AuditedMechanism(RIT(h=0.8, round_budget="until-complete"))
+    asks = {u.user_id: u.truthful_ask() for u in population}
+    outcome = mechanism.run(job, asks, tree, rng=rng)
+
+    print(f"\njob completed: {outcome.completed} "
+          f"({outcome.total_allocated}/{job.size} POIs sensed)")
+    print(f"total outlay: {outcome.total_payment:,.2f} "
+          f"(auction {outcome.total_auction_payment:,.2f})")
+
+    # Per-region market report: clearing conditions differ by geography.
+    print("\nper-region market:")
+    print(f"  {'region':7s} {'POIs':>5s} {'winners':>8s} {'avg price':>10s} "
+          f"{'avg cost':>9s}")
+    for t in range(len(regions)):
+        winners = [
+            uid for uid, x in outcome.allocation.items()
+            if asks[uid].task_type == t
+        ]
+        tasks = sum(outcome.tasks_of(uid) for uid in winners)
+        paid = sum(outcome.auction_payment_of(uid) for uid in winners)
+        users_t = population.of_type(t)
+        avg_cost = sum(u.cost for u in users_t) / len(users_t)
+        avg_price = paid / tasks if tasks else float("nan")
+        print(f"  τ{t:<6d} {job.tasks_of(t):>5d} {len(winners):>8d} "
+              f"{avg_price:>10.3f} {avg_cost:>9.3f}")
+
+    print("\n(The audit wrapper validated coverage, capacities and the "
+          "payment bounds on this run.)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,118 @@
+#!/usr/bin/env python
+"""Sybil attacks, visualized: why RIT resists what referral schemes don't.
+
+Part 1 replays the paper's §1 story: under the MIT DARPA Network Challenge
+reward scheme, Bob the balloon finder profits from splitting himself into
+Bob1/Bob2, and his inviter Alice pays the price.
+
+Part 2 runs the same kind of attack against RIT on a crowdsensing
+scenario: the attacker's total utility (summed over its fake identities)
+is compared with its honest utility, for growing identity counts — the
+Fig. 9 experiment in miniature.
+
+Run:  python examples/sybil_attack_demo.py
+"""
+
+import numpy as np
+
+from repro import RIT
+from repro.attacks import SybilAttack, compare_sybil_attack
+from repro.baselines import mit_referral_rewards
+from repro.core.types import Job
+from repro.tree import IncentiveTree, ROOT
+from repro.workloads import paper_scenario
+from repro.workloads.users import UserDistribution
+
+SEED = 5
+
+
+def part1_darpa() -> None:
+    print("=== Part 1: the DARPA balloon story (MIT referral scheme) ===")
+    alice, bob, bob2, bob1 = 1, 2, 3, 4
+
+    honest = IncentiveTree()
+    honest.attach(alice, ROOT)
+    honest.attach(bob, alice)
+    h = mit_referral_rewards(honest, {bob: 2000.0})
+    print(f"honest:  Bob ${h[bob]:.0f}, Alice ${h[alice]:.0f}")
+
+    attacked = IncentiveTree()
+    attacked.attach(alice, ROOT)
+    attacked.attach(bob2, alice)
+    attacked.attach(bob1, bob2)
+    a = mit_referral_rewards(attacked, {bob1: 2000.0})
+    bob_total = a[bob1] + a[bob2]
+    print(f"attack:  Bob ${bob_total:.0f} (= {a[bob1]:.0f} + {a[bob2]:.0f}), "
+          f"Alice ${a[alice]:.0f}")
+    print(f"-> Bob gains ${bob_total - h[bob]:.0f} from the split; "
+          f"Alice loses ${h[alice] - a[alice]:.0f}.  NOT sybil-proof.\n")
+
+
+def part2_rit() -> None:
+    print("=== Part 2: the same idea against RIT ===")
+    scenario = paper_scenario(
+        1500,
+        Job.uniform(5, 60),
+        rng=SEED,
+        distribution=UserDistribution(num_types=5),
+        supply_threshold=True,
+    )
+    mech = RIT(h=0.8, round_budget="until-complete")
+    asks = scenario.truthful_asks()
+
+    # Pick an attacker that wins under truthful play AND has recruits —
+    # the chain attack's cost shows up through its descendants' diluted
+    # referrals (the paper's P_29 is exactly such a user).  Fall back to
+    # progressively weaker criteria if the draw has no such user.
+    probe = mech.run(scenario.job, asks, scenario.tree, rng=SEED)
+    winners = [
+        uid
+        for uid in probe.auction_payments
+        if scenario.population[uid].capacity >= 6
+    ]
+    qualified = (
+        [
+            uid
+            for uid in winners
+            if scenario.tree.children(uid)
+            and probe.payment_of(uid) > probe.auction_payment_of(uid)
+        ]
+        or [uid for uid in winners if scenario.tree.children(uid)]
+        or winners
+    )
+    victim = max(qualified, key=probe.auction_payment_of)
+    user = scenario.population[victim]
+    print(f"attacker: user {victim} (type {user.task_type}, "
+          f"K={user.capacity}, cost {user.cost:.2f}, "
+          f"{len(scenario.tree.children(victim))} recruits)")
+
+    for delta in (1, 2, 3, min(6, user.capacity)):
+        # Chain attacks maximize referral dilution (Lemma 6.4's first
+        # shape); every identity keeps the truthful ask value.
+        caps = [user.capacity - (delta - 1)] + [1] * (delta - 1)
+        attack = SybilAttack.chain(victim, caps, [user.cost] * delta)
+        comparison = compare_sybil_attack(
+            mech, scenario.job, asks, scenario.tree, attack, user.cost,
+            reps=25, rng=SEED, true_capacity=user.capacity,
+        )
+        if comparison.gain > 1e-6:
+            verdict = "ATTACK WINS"
+        elif comparison.gain < -1e-6:
+            verdict = "attack LOSES"
+        else:
+            verdict = "no gain"
+        print(f"  {delta} identit{'y ' if delta == 1 else 'ies'}: "
+              f"honest {comparison.honest_utility:8.3f}  "
+              f"attack {comparison.deviant_utility:8.3f}  -> {verdict}")
+    print("\nRIT's defenses: identical unit asks make splits auction-"
+          "neutral (Lemma 6.4); same-type descendants earn no referral, "
+          "so identities can't kick rewards back to themselves; chains "
+          "halve descendants' contributions per extra level.  (A 2-chain "
+          "is exactly neutral — two recipient identities at half weight — "
+          "which is the z_i = 1 equality case of Lemma 6.4; every deeper "
+          "chain strictly loses.)")
+
+
+if __name__ == "__main__":
+    part1_darpa()
+    part2_rit()

@@ -1,0 +1,47 @@
+"""Analysis toolkit: empirical property audits and theoretical bounds."""
+
+from repro.analysis.properties import (
+    PropertyReport,
+    check_individual_rationality,
+    check_solicitation_incentive,
+    misreport_violation_rate,
+    sybil_violation_rate,
+)
+from repro.analysis.calibration import (
+    CalibrationReport,
+    calibration_report,
+    degree_gini,
+    hill_tail_exponent,
+)
+from repro.analysis.stats import (
+    GainSummary,
+    bootstrap_ci,
+    paired_permutation_test,
+    summarize_gain,
+)
+from repro.analysis.theory import (
+    BoundSummary,
+    budget_table,
+    remark61_examples,
+    summarize_bounds,
+)
+
+__all__ = [
+    "CalibrationReport",
+    "calibration_report",
+    "degree_gini",
+    "hill_tail_exponent",
+    "GainSummary",
+    "bootstrap_ci",
+    "paired_permutation_test",
+    "summarize_gain",
+    "PropertyReport",
+    "check_individual_rationality",
+    "check_solicitation_incentive",
+    "misreport_violation_rate",
+    "sybil_violation_rate",
+    "BoundSummary",
+    "summarize_bounds",
+    "remark61_examples",
+    "budget_table",
+]

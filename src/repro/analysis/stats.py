@@ -1,0 +1,166 @@
+"""Statistical machinery for simulation comparisons.
+
+The paper reports 1000-repetition averages; at laptop scale the harness
+runs far fewer repetitions, so point estimates need uncertainty attached.
+This module provides the two tools the evaluation layer uses:
+
+* :func:`bootstrap_ci` — percentile bootstrap confidence interval for a
+  mean (used for the figure series);
+* :func:`paired_permutation_test` — exact/Monte-Carlo sign-flip test for
+  the mean of paired differences (used to decide whether an attack's gain
+  is statistically real, since the evaluator produces paired
+  honest/deviant samples under common random numbers);
+* :func:`summarize_gain` — the convenience wrapper gluing both onto an
+  :class:`~repro.attacks.evaluator.AttackComparison`.
+
+Implementations are numpy-only and deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.core.exceptions import ConfigurationError
+from repro.core.rng import SeedLike, as_generator
+
+__all__ = [
+    "bootstrap_ci",
+    "paired_permutation_test",
+    "GainSummary",
+    "summarize_gain",
+]
+
+
+def bootstrap_ci(
+    samples: Sequence[float],
+    *,
+    confidence: float = 0.95,
+    num_resamples: int = 2000,
+    rng: SeedLike = None,
+) -> Tuple[float, float]:
+    """Percentile bootstrap CI for the mean of ``samples``.
+
+    Returns ``(low, high)``.  A single sample yields a degenerate
+    interval at its value.
+    """
+    arr = np.asarray(samples, dtype=np.float64)
+    if arr.size == 0:
+        raise ConfigurationError("cannot bootstrap zero samples")
+    if not 0.0 < confidence < 1.0:
+        raise ConfigurationError(f"confidence must be in (0,1), got {confidence}")
+    if num_resamples < 1:
+        raise ConfigurationError(f"num_resamples must be >= 1, got {num_resamples}")
+    if arr.size == 1:
+        return (float(arr[0]), float(arr[0]))
+    gen = as_generator(rng)
+    idx = gen.integers(0, arr.size, size=(num_resamples, arr.size))
+    means = arr[idx].mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    return (
+        float(np.quantile(means, alpha)),
+        float(np.quantile(means, 1.0 - alpha)),
+    )
+
+
+def paired_permutation_test(
+    a: Sequence[float],
+    b: Sequence[float],
+    *,
+    num_permutations: int = 5000,
+    rng: SeedLike = None,
+    alternative: str = "greater",
+) -> float:
+    """Sign-flip permutation test on paired samples.
+
+    Tests ``H0: mean(a - b) = 0`` against:
+
+    * ``"greater"`` — mean(a − b) > 0;
+    * ``"less"``    — mean(a − b) < 0;
+    * ``"two-sided"``.
+
+    Returns the p-value.  With ≤ 20 pairs, all ``2^n`` sign assignments
+    are enumerated exactly; otherwise ``num_permutations`` random flips
+    are used.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape or a.ndim != 1:
+        raise ConfigurationError(
+            f"paired samples must be aligned 1-D, got {a.shape} vs {b.shape}"
+        )
+    if a.size == 0:
+        raise ConfigurationError("cannot test zero pairs")
+    if alternative not in ("greater", "less", "two-sided"):
+        raise ConfigurationError(f"bad alternative {alternative!r}")
+    diffs = a - b
+    observed = diffs.mean()
+
+    n = diffs.size
+    if n <= 20:
+        # Exact: enumerate all sign patterns via binary counting.
+        signs = (
+            ((np.arange(2**n)[:, None] >> np.arange(n)) & 1) * 2 - 1
+        ).astype(np.float64)
+        null = (signs * diffs).mean(axis=1)
+    else:
+        gen = as_generator(rng)
+        flips = gen.integers(0, 2, size=(num_permutations, n)) * 2 - 1
+        null = (flips * diffs).mean(axis=1)
+
+    if alternative == "greater":
+        p = np.mean(null >= observed - 1e-15)
+    elif alternative == "less":
+        p = np.mean(null <= observed + 1e-15)
+    else:
+        p = np.mean(np.abs(null) >= abs(observed) - 1e-15)
+    return float(p)
+
+
+@dataclass(frozen=True)
+class GainSummary:
+    """Uncertainty-aware summary of an attack's gain."""
+
+    mean_gain: float
+    ci_low: float
+    ci_high: float
+    p_value: float
+
+    @property
+    def significant(self) -> bool:
+        """Is the gain positive at the 5% level?"""
+        return self.p_value < 0.05 and self.mean_gain > 0
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"gain {self.mean_gain:+.4f} "
+            f"[{self.ci_low:+.4f}, {self.ci_high:+.4f}] p={self.p_value:.3f}"
+        )
+
+
+def summarize_gain(
+    honest_samples: Sequence[float],
+    deviant_samples: Sequence[float],
+    *,
+    confidence: float = 0.95,
+    rng: SeedLike = None,
+) -> GainSummary:
+    """Summarize paired honest/deviant utilities into a tested gain.
+
+    ``deviant − honest`` per pair; bootstrap CI on its mean; one-sided
+    permutation p-value for "the deviation gains".
+    """
+    h = np.asarray(honest_samples, dtype=np.float64)
+    d = np.asarray(deviant_samples, dtype=np.float64)
+    if h.shape != d.shape or h.ndim != 1 or h.size == 0:
+        raise ConfigurationError(
+            f"need aligned non-empty 1-D samples, got {h.shape} vs {d.shape}"
+        )
+    gains = d - h
+    low, high = bootstrap_ci(gains, confidence=confidence, rng=rng)
+    p = paired_permutation_test(d, h, alternative="greater", rng=rng)
+    return GainSummary(
+        mean_gain=float(gains.mean()), ci_low=low, ci_high=high, p_value=p
+    )

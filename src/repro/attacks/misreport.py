@@ -1,0 +1,60 @@
+"""Untruthful bidding (ask-value misreports).
+
+The first dishonest behaviour of §3-B: a user submits an ask value
+``a_j ≠ c_j`` (and possibly a claimed capacity ``k_j < K_j``).  These
+helpers produce deviated ask profiles for the truthfulness experiments and
+property tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+from repro.core.exceptions import AttackError
+from repro.core.types import Ask
+
+__all__ = ["misreport_value", "misreport", "deviation_grid"]
+
+
+def misreport_value(
+    asks: Mapping[int, Ask], user_id: int, value: float
+) -> Dict[int, Ask]:
+    """Copy of the profile with ``user_id`` asking ``value`` instead."""
+    if user_id not in asks:
+        raise AttackError(f"user {user_id} has no ask to misreport")
+    if value <= 0:
+        raise AttackError(f"ask values must be > 0, got {value}")
+    out = dict(asks)
+    out[user_id] = out[user_id].with_value(value)
+    return out
+
+
+def misreport(
+    asks: Mapping[int, Ask],
+    user_id: int,
+    *,
+    value: Optional[float] = None,
+    capacity: Optional[int] = None,
+) -> Dict[int, Ask]:
+    """Copy of the profile with an arbitrary single-user deviation."""
+    if user_id not in asks:
+        raise AttackError(f"user {user_id} has no ask to misreport")
+    ask = asks[user_id]
+    if value is not None:
+        ask = ask.with_value(value)
+    if capacity is not None:
+        ask = ask.with_capacity(capacity)
+    out = dict(asks)
+    out[user_id] = ask
+    return out
+
+
+def deviation_grid(
+    cost: float,
+    *,
+    factors: Iterable[float] = (0.5, 0.8, 0.9, 1.1, 1.25, 2.0),
+) -> Tuple[float, ...]:
+    """Candidate untruthful ask values around a cost (for sweeps)."""
+    if cost <= 0:
+        raise AttackError(f"cost must be > 0, got {cost}")
+    return tuple(cost * f for f in factors if f > 0 and f != 1.0)

@@ -1,0 +1,175 @@
+"""Adversarial audit: search for the most profitable deviation.
+
+The paper proves deviations don't pay *with probability at least H*; a
+downstream operator tuning a deployment wants the empirical counterpart:
+"across the deviations a rational user would actually try, what is the
+best gain anyone can extract here?"  :func:`best_deviation` runs that
+search for one user:
+
+* ask-value misreports over a multiplicative grid around the cost;
+* sybil splits (chain and star) at several identity counts, each tried
+  with the truthful value and with the best misreport value found;
+
+every candidate is scored with the paired-coin evaluator, and the winner
+is returned with its statistics.  The search is exhaustive over its
+candidate set, not clever — the set is small by design (it mirrors the
+strategy space of the paper's Fig. 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Mapping, Optional, Sequence, Tuple
+
+from repro.attacks.evaluator import (
+    AttackComparison,
+    compare_misreport,
+    compare_sybil_attack,
+)
+from repro.attacks.misreport import deviation_grid
+from repro.attacks.sybil import SybilAttack
+from repro.core.exceptions import AttackError
+from repro.core.mechanism import Mechanism
+from repro.core.rng import SeedLike, as_generator, spawn
+from repro.core.types import Ask, Job
+from repro.tree.incentive_tree import IncentiveTree
+
+__all__ = ["DeviationCandidate", "DeviationReport", "best_deviation"]
+
+
+@dataclass(frozen=True)
+class DeviationCandidate:
+    """One evaluated deviation."""
+
+    kind: str           # "misreport" | "sybil-chain" | "sybil-star"
+    detail: str         # human-readable parameters
+    comparison: AttackComparison
+
+    @property
+    def gain(self) -> float:
+        return self.comparison.gain
+
+
+@dataclass(frozen=True)
+class DeviationReport:
+    """Outcome of a best-deviation search for one user."""
+
+    user_id: int
+    honest_utility: float
+    candidates: Tuple[DeviationCandidate, ...]
+
+    @property
+    def best(self) -> DeviationCandidate:
+        return max(self.candidates, key=lambda c: c.gain)
+
+    @property
+    def max_gain(self) -> float:
+        return self.best.gain
+
+    @property
+    def robust(self) -> bool:
+        """True when no candidate extracted a positive gain."""
+        return self.max_gain <= 1e-9
+
+    def summary(self) -> str:
+        best = self.best
+        verdict = "ROBUST" if self.robust else f"EXPLOITABLE via {best.kind}"
+        return (
+            f"user {self.user_id}: honest {self.honest_utility:.4f}, "
+            f"best deviation {best.kind} [{best.detail}] "
+            f"gain {best.gain:+.4f} -> {verdict}"
+        )
+
+
+def _split_capacities(total: int, parts: int) -> List[int]:
+    """Even split of ``total`` into ``parts`` positive integers."""
+    base, extra = divmod(total, parts)
+    return [base + (1 if i < extra else 0) for i in range(parts)]
+
+
+def best_deviation(
+    mechanism: Mechanism,
+    job: Job,
+    asks: Mapping[int, Ask],
+    tree: IncentiveTree,
+    user_id: int,
+    cost: float,
+    *,
+    capacity: Optional[int] = None,
+    identity_counts: Sequence[int] = (2, 3),
+    value_factors: Sequence[float] = (0.5, 0.8, 1.2, 1.5, 2.0),
+    reps: int = 15,
+    rng: SeedLike = None,
+) -> DeviationReport:
+    """Search misreports and sybil splits for the best gain.
+
+    Parameters
+    ----------
+    capacity:
+        The user's true ``K_j``; defaults to the claimed capacity in the
+        honest profile.
+    identity_counts:
+        Sybil split sizes to try (values above the capacity are skipped).
+    value_factors:
+        Multiplicative grid of misreport values around ``cost``.
+    reps:
+        Paired repetitions per candidate.
+    """
+    if user_id not in asks:
+        raise AttackError(f"user {user_id} has no ask")
+    true_capacity = capacity if capacity is not None else asks[user_id].capacity
+    gen = as_generator(rng)
+    candidates: List[DeviationCandidate] = []
+
+    # 1. Misreports on the value grid.
+    best_value = cost
+    best_value_gain = 0.0
+    for value in deviation_grid(cost, factors=value_factors):
+        comparison = compare_misreport(
+            mechanism, job, asks, tree, user_id, cost, value,
+            reps=reps, rng=spawn(gen, 1)[0],
+        )
+        candidates.append(
+            DeviationCandidate(
+                kind="misreport",
+                detail=f"a={value:.3f} (cost {cost:.3f})",
+                comparison=comparison,
+            )
+        )
+        if comparison.gain > best_value_gain:
+            best_value_gain = comparison.gain
+            best_value = value
+
+    # 2. Sybil splits: chain and star, truthful value and the best
+    #    misreport value found above.
+    for delta in identity_counts:
+        if delta < 2 or delta > true_capacity:
+            continue
+        caps = _split_capacities(true_capacity, delta)
+        for value in {cost, best_value}:
+            for kind, builder in (
+                ("sybil-chain", SybilAttack.chain),
+                ("sybil-star", SybilAttack.star),
+            ):
+                attack = builder(user_id, caps, [value] * delta)
+                comparison = compare_sybil_attack(
+                    mechanism, job, asks, tree, attack, cost,
+                    reps=reps, rng=spawn(gen, 1)[0],
+                    true_capacity=true_capacity,
+                )
+                candidates.append(
+                    DeviationCandidate(
+                        kind=kind,
+                        detail=f"δ={delta}, a={value:.3f}",
+                        comparison=comparison,
+                    )
+                )
+
+    if not candidates:
+        raise AttackError("the candidate set was empty (check the grids)")
+    honest = candidates[0].comparison.honest_utility
+    return DeviationReport(
+        user_id=user_id,
+        honest_utility=honest,
+        candidates=tuple(candidates),
+    )

@@ -1,0 +1,267 @@
+"""Sybil attacks (paper §3-B).
+
+A sybil attack by user ``P_j`` replaces it with ``δ(j) > 1`` fake
+identities ``P_{j1} … P_{jδ}``.  The model constrains the rewrite:
+
+* every identity resides either as a child of ``P_j``'s original parent or
+  as a child of another identity of ``P_j`` (Remark 3.1 — other users did
+  not reach out to ``P_j``'s identities during solicitation);
+* each original child of ``P_j`` is re-attached under one of the
+  identities; the rest of the tree is untouched;
+* all identities keep the victim's task type; their claimed capacities sum
+  to at most ``K_j``; their unit cost is the victim's ``c_j``.
+
+:class:`SybilAttack` is a declarative description of one such rewrite;
+:func:`apply_attack` materializes it into a new ask profile and tree.
+Identity ids are allocated past the current maximum id so honest ids stay
+untouched (useful for paired comparisons).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.exceptions import AttackError
+from repro.core.rng import SeedLike, as_generator
+from repro.core.types import Ask
+from repro.tree.incentive_tree import IncentiveTree
+
+__all__ = ["IdentitySpec", "SybilAttack", "apply_attack"]
+
+
+@dataclass(frozen=True)
+class IdentitySpec:
+    """One fake identity.
+
+    Attributes
+    ----------
+    capacity:
+        ``k_{j_l}`` — the capacity this identity claims.
+    value:
+        ``a_{j_l}`` — the ask value this identity submits.
+    parent_slot:
+        Where the identity attaches: ``-1`` means the victim's original
+        parent; ``l >= 0`` means "child of identity #l" (which must have a
+        smaller index than this identity).
+    """
+
+    capacity: int
+    value: float
+    parent_slot: int = -1
+
+
+@dataclass(frozen=True)
+class SybilAttack:
+    """A full attack description for one victim.
+
+    Attributes
+    ----------
+    victim:
+        The user id being split.
+    identities:
+        The ``δ(j)`` identity specs, in creation order.
+    child_assignment:
+        For each original child of the victim (in the tree's child order),
+        the index of the identity that inherits it.  ``None`` assigns every
+        original child to the **last** identity (deepest, for chains).
+    """
+
+    victim: int
+    identities: Tuple[IdentitySpec, ...]
+    child_assignment: Optional[Tuple[int, ...]] = None
+
+    def __post_init__(self) -> None:
+        if len(self.identities) < 1:
+            raise AttackError("an attack needs at least one identity")
+        for l, spec in enumerate(self.identities):
+            if spec.parent_slot >= l:
+                raise AttackError(
+                    f"identity #{l} attaches to identity #{spec.parent_slot}, "
+                    "which does not precede it"
+                )
+            if spec.parent_slot < -1:
+                raise AttackError(f"bad parent_slot {spec.parent_slot}")
+
+    @property
+    def num_identities(self) -> int:
+        return len(self.identities)
+
+    def total_capacity(self) -> int:
+        return sum(spec.capacity for spec in self.identities)
+
+    # ------------------------------------------------------------------ #
+    # Constructors for the canonical shapes
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def chain(
+        victim: int, capacities: Sequence[int], values: Sequence[float]
+    ) -> "SybilAttack":
+        """Identities stacked in a chain under the original parent.
+
+        Identity 0 replaces the victim; identity ``l`` is the child of
+        identity ``l-1``; original children hang under the deepest
+        identity.  This is Lemma 6.4's first attack shape (and the DARPA
+        counterexample's)."""
+        specs = tuple(
+            IdentitySpec(capacity=k, value=v, parent_slot=l - 1)
+            for l, (k, v) in enumerate(zip(capacities, values))
+        )
+        return SybilAttack(victim=victim, identities=specs)
+
+    @staticmethod
+    def star(
+        victim: int, capacities: Sequence[int], values: Sequence[float]
+    ) -> "SybilAttack":
+        """All identities as siblings under the original parent.
+
+        Lemma 6.4's second attack shape; original children hang under the
+        last identity (pass an explicit ``child_assignment`` to override)."""
+        specs = tuple(
+            IdentitySpec(capacity=k, value=v, parent_slot=-1)
+            for k, v in zip(capacities, values)
+        )
+        return SybilAttack(victim=victim, identities=specs, child_assignment=None)
+
+    @staticmethod
+    def random(
+        victim: int,
+        num_identities: int,
+        total_capacity: int,
+        value: float,
+        num_children: int,
+        rng: SeedLike = None,
+    ) -> "SybilAttack":
+        """A random admissible attack (the Fig. 9 generator).
+
+        Capacities are a uniform random composition of ``total_capacity``
+        into ``num_identities`` positive parts; every identity asks
+        ``value``; each identity attaches uniformly to the original parent
+        or to an earlier identity; each original child is assigned to a
+        uniform identity.
+        """
+        if num_identities < 1:
+            raise AttackError(f"need >= 1 identity, got {num_identities}")
+        if total_capacity < num_identities:
+            raise AttackError(
+                f"cannot split capacity {total_capacity} into "
+                f"{num_identities} positive parts"
+            )
+        gen = as_generator(rng)
+        # Uniform composition via stars-and-bars: choose cut points.
+        cuts = sorted(
+            gen.choice(total_capacity - 1, size=num_identities - 1, replace=False)
+            + 1
+        ) if num_identities > 1 else []
+        parts: List[int] = []
+        prev = 0
+        for cut in list(cuts) + [total_capacity]:
+            parts.append(int(cut - prev))
+            prev = cut
+        specs = []
+        for l in range(num_identities):
+            parent_slot = -1 if l == 0 else int(gen.integers(-1, l))
+            specs.append(
+                IdentitySpec(capacity=parts[l], value=value, parent_slot=parent_slot)
+            )
+        assignment = tuple(
+            int(gen.integers(num_identities)) for _ in range(num_children)
+        )
+        return SybilAttack(
+            victim=victim, identities=tuple(specs), child_assignment=assignment
+        )
+
+
+def apply_attack(
+    attack: SybilAttack,
+    asks: Mapping[int, Ask],
+    tree: IncentiveTree,
+    *,
+    true_capacity: Optional[int] = None,
+) -> Tuple[Dict[int, Ask], IncentiveTree, List[int]]:
+    """Materialize a sybil attack into a new ask profile and tree.
+
+    Parameters
+    ----------
+    attack:
+        The attack description.
+    asks:
+        Honest ask profile (victim included).
+    tree:
+        Honest incentive tree (victim included).
+    true_capacity:
+        The victim's true ``K_j``; when given, the identities' combined
+        claimed capacity is validated against it (§3-B's feasibility
+        assumption ``Σ_l k_{j_l} <= K_j``).
+
+    Returns
+    -------
+    (new_asks, new_tree, identity_ids)
+        The rewritten profile/tree (victim removed, identities inserted)
+        and the fresh ids of the identities, aligned with
+        ``attack.identities``.
+    """
+    victim = attack.victim
+    if victim not in asks:
+        raise AttackError(f"victim {victim} has no ask")
+    if victim not in tree:
+        raise AttackError(f"victim {victim} is not in the tree")
+    victim_ask = asks[victim]
+    for spec in attack.identities:
+        if spec.value <= 0:
+            raise AttackError(f"identity ask value must be > 0, got {spec.value}")
+        if spec.capacity < 1:
+            raise AttackError(f"identity capacity must be >= 1, got {spec.capacity}")
+    if true_capacity is not None and attack.total_capacity() > true_capacity:
+        raise AttackError(
+            f"identities claim {attack.total_capacity()} > K_j={true_capacity}"
+        )
+
+    base_id = max(max(asks), max(tree.nodes(), default=0)) + 1
+    identity_ids = [base_id + l for l in range(attack.num_identities)]
+
+    # Rewrite the tree: detach the victim's children, insert identities,
+    # re-home the children, drop the victim.
+    new_tree = tree.copy()
+    original_parent = new_tree.parent(victim)
+    original_children = list(new_tree.children(victim))
+
+    assignment = attack.child_assignment
+    if assignment is None:
+        target = attack.num_identities - 1
+        assignment = tuple(target for _ in original_children)
+    if len(assignment) != len(original_children):
+        raise AttackError(
+            f"child_assignment has {len(assignment)} entries but the victim "
+            f"has {len(original_children)} children"
+        )
+    for idx in assignment:
+        if not 0 <= idx < attack.num_identities:
+            raise AttackError(f"child assigned to unknown identity #{idx}")
+
+    for l, spec in enumerate(attack.identities):
+        parent = (
+            original_parent if spec.parent_slot == -1 else identity_ids[spec.parent_slot]
+        )
+        new_tree.attach(identity_ids[l], parent)
+    for child, idx in zip(original_children, assignment):
+        new_tree.reattach(child, identity_ids[idx])
+    new_tree.remove_leaf(victim)
+
+    # Splice the identities at the victim's position in the profile's
+    # iteration order: Extract consumes profiles in order, so a same-value
+    # split then leaves the unit-ask vector unchanged element-for-element,
+    # which makes common-random-number comparisons exact (Lemma 6.4).
+    new_asks: Dict[int, Ask] = {}
+    for uid, a in asks.items():
+        if uid != victim:
+            new_asks[uid] = a
+            continue
+        for l, spec in enumerate(attack.identities):
+            new_asks[identity_ids[l]] = Ask(
+                task_type=victim_ask.task_type,
+                capacity=spec.capacity,
+                value=spec.value,
+            )
+    return new_asks, new_tree, identity_ids

@@ -1,0 +1,21 @@
+"""Baseline mechanisms and tree reward rules from the paper's §1/§2/§4."""
+
+from repro.baselines.auction_only import AuctionOnly
+from repro.baselines.kth_price import KthPriceAuction
+from repro.baselines.naive_combo import NaiveComboMechanism
+from repro.baselines.pachira import pachira_style_rewards
+from repro.baselines.tree_rewards import (
+    lv_moscibroda_rewards,
+    mit_referral_rewards,
+    rit_rewards,
+)
+
+__all__ = [
+    "KthPriceAuction",
+    "NaiveComboMechanism",
+    "AuctionOnly",
+    "mit_referral_rewards",
+    "lv_moscibroda_rewards",
+    "rit_rewards",
+    "pachira_style_rewards",
+]

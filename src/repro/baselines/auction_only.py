@@ -1,0 +1,45 @@
+"""RIT's auction phase as a standalone mechanism.
+
+Every §7 figure compares full RIT against "the auction phase" — the same
+allocation and auction payments, but with no solicitation rewards
+(``p_j = p^A_j``).  The simulation harness usually derives both series from
+one RIT outcome; this wrapper exists for callers who want the comparator as
+a first-class :class:`~repro.core.mechanism.Mechanism` (e.g. the attack
+evaluator, or ablations that never build a tree).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Mapping
+
+from repro.core.mechanism import Mechanism
+from repro.core.outcome import MechanismOutcome
+from repro.core.rit import RIT
+from repro.core.rng import SeedLike
+from repro.core.types import Ask, Job
+from repro.tree.incentive_tree import IncentiveTree
+
+__all__ = ["AuctionOnly"]
+
+
+class AuctionOnly(Mechanism):
+    """Run an inner RIT but pay only the auction payments."""
+
+    name = "RIT-auction-phase"
+
+    def __init__(self, inner: RIT = None) -> None:
+        self.inner = inner if inner is not None else RIT()
+
+    def run(
+        self,
+        job: Job,
+        asks: Mapping[int, Ask],
+        tree: IncentiveTree,
+        rng: SeedLike = None,
+    ) -> MechanismOutcome:
+        t_start = time.perf_counter()
+        outcome = self.inner.run(job, asks, tree, rng)
+        outcome.payments = dict(outcome.auction_payments)
+        outcome.elapsed_total = time.perf_counter() - t_start
+        return outcome

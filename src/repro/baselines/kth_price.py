@@ -1,0 +1,123 @@
+"""The k-th lowest price auction (paper §4-A's illustration auction).
+
+In the paper's words: *"In the k-th lowest price auction, there are several
+bidders, each of whom sells an item (or service).  Each bidder has a
+private cost and submits an ask.  The winners are the ones who submit the
+k-1 lowest asks, and their payments are the k-th lowest ask."*  [31] proves
+it truthful for single-item bidders.
+
+Generalized here to the crowdsensing model: for each task type with ``m_i``
+requested tasks, the ``m_i`` lowest *unit* asks win one task each and every
+winner is paid the ``(m_i+1)``-st lowest unit ask value (the first excluded
+ask).  This matches the paper's Fig. 2 walk-through: with asks
+``(τ1,2,2), (τ1,1,3), (τ1,1,5)`` and two tasks, ``P1`` wins both tasks and
+is paid ``2 × 3 = 6``.
+
+It is truthful for users with unit capacity, and truthful-per-unit in
+general, but — as §4 demonstrates — it is *not* collusion-resistant: a
+sybil identity can raise the clearing price for its sibling identities.
+That failure is exactly what the naive-combination examples reproduce.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Mapping
+
+import numpy as np
+
+from repro.core.extract import extract
+from repro.core.mechanism import Mechanism
+from repro.core.outcome import MechanismOutcome, RoundRecord
+from repro.core.rng import SeedLike
+from repro.core.types import Ask, Job
+from repro.tree.incentive_tree import IncentiveTree
+
+__all__ = ["KthPriceAuction"]
+
+
+class KthPriceAuction(Mechanism):
+    """Deterministic (m_i+1)-st lowest price auction per task type.
+
+    Parameters
+    ----------
+    require_completion:
+        When True (default), a type whose unit-ask supply is smaller than
+        ``m_i`` voids the whole outcome (mirroring RIT's all-or-nothing
+        contract).  When False, the type is filled as far as supply allows.
+    """
+
+    name = "kth-price"
+
+    def __init__(self, *, require_completion: bool = True) -> None:
+        self.require_completion = bool(require_completion)
+
+    def run(
+        self,
+        job: Job,
+        asks: Mapping[int, Ask],
+        tree: IncentiveTree,
+        rng: SeedLike = None,  # deterministic; accepted for interface parity
+    ) -> MechanismOutcome:
+        t_start = time.perf_counter()
+        allocation: Dict[int, int] = {}
+        payments: Dict[int, float] = {}
+        rounds = []
+        completed = True
+        for tau in job.types():
+            m_i = job.tasks_of(tau)
+            if m_i == 0:
+                continue
+            unit = extract(tau, asks)
+            if len(unit) < m_i:
+                completed = False
+                if self.require_completion:
+                    continue
+            winners, price = self._clear(unit.values, m_i)
+            rounds.append(
+                RoundRecord(
+                    task_type=tau,
+                    round_index=0,
+                    q_before=m_i,
+                    num_winners=len(winners),
+                    price=price,
+                    n_s=len(winners),
+                    overflow_trimmed=False,
+                )
+            )
+            for idx in winners:
+                uid = int(unit.owners[idx])
+                allocation[uid] = allocation.get(uid, 0) + 1
+                payments[uid] = payments.get(uid, 0.0) + price
+        elapsed = time.perf_counter() - t_start
+        outcome = MechanismOutcome(
+            allocation=allocation,
+            auction_payments=dict(payments),
+            payments=payments,
+            completed=completed,
+            rounds=rounds,
+            elapsed_auction=elapsed,
+            elapsed_total=elapsed,
+        )
+        if not completed and self.require_completion:
+            return outcome.void()
+        return outcome
+
+    @staticmethod
+    def _clear(values: np.ndarray, m_i: int):
+        """Winners = ``m_i`` lowest asks; price = first excluded ask value.
+
+        Ties are broken by position (stable sort).  When no ask is excluded
+        (supply exactly ``m_i``), the price is the highest winning ask —
+        the bidders' reports then coincide with the clearing price.
+        """
+        order = np.argsort(values, kind="stable")
+        take = min(m_i, len(values))
+        winners = order[:take]
+        if take == 0:
+            return winners, float("nan")
+        if len(values) > take:
+            price = float(values[order[take]])
+        else:
+            price = float(values[order[take - 1]])
+        return winners, price

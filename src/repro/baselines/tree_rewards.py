@@ -1,0 +1,97 @@
+"""Incentive-tree reward functions from the related work (paper §1, §4).
+
+These map *contributions* (here: auction payments, following §4-A's "we use
+the auction payment to quantify the contribution of each user") and the
+tree structure to final payments.  They are the building blocks of the
+naive combinations whose failures motivate RIT:
+
+* :func:`mit_referral_rewards` — the MIT DARPA Network Challenge scheme
+  (§1): a contributor keeps its base reward; each ancestor receives the
+  reward of its child's branch multiplied by γ (the paper's story: finder
+  $2000, inviter $1000, inviter's inviter $500 — γ = 1/2 applied to the
+  *reward chain*, i.e. ancestor k levels above earns γ^k × base).  Famously
+  **not** sybil-proof — reproduced in ``examples/darpa_balloon_challenge.py``.
+
+* :func:`lv_moscibroda_rewards` — the contribution-based rule the paper
+  quotes from [24] in both §4 counterexamples:
+  ``p_j = 2·p^A_j + ln(1 - p^A_j / S)``.  The scanned text garbles the
+  normalizer ``S``; we use the total contribution ``S = Σ_i p^A_i`` and
+  clamp the log argument to ``1/(1+S)`` to keep the sole-contributor case
+  finite.  The §4 conclusions (the naive combination violates
+  sybil-proofness and truthfulness) are insensitive to this choice and are
+  asserted qualitatively in the tests.
+
+* :func:`rit_rewards` — RIT's own rule, re-exported for side-by-side
+  comparisons (:func:`repro.core.payments.tree_payments`).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Mapping
+
+from repro.core.exceptions import ConfigurationError
+from repro.core.payments import tree_payments as rit_rewards  # re-export
+from repro.tree.incentive_tree import IncentiveTree
+
+__all__ = ["mit_referral_rewards", "lv_moscibroda_rewards", "rit_rewards"]
+
+
+def mit_referral_rewards(
+    tree: IncentiveTree,
+    contributions: Mapping[int, float],
+    *,
+    gamma: float = 0.5,
+) -> Dict[int, float]:
+    """The MIT DARPA Network Challenge referral scheme.
+
+    Every node keeps its own contribution (the balloon finder's $2000);
+    an ancestor ``k`` levels above a contributor earns ``γ^k`` times that
+    contribution ($1000, $500, …).  Rewards decay with the *relative*
+    distance between ancestor and contributor, which is what makes a chain
+    of sybils profitable: inserting an identity between you and your parent
+    diverts your parent's share to yourself.
+
+    Parameters
+    ----------
+    tree:
+        The incentive tree.
+    contributions:
+        Base rewards per node (ids absent contribute 0).
+    gamma:
+        Per-level decay of the referral chain (DARPA: 1/2).
+    """
+    if not 0.0 < gamma < 1.0:
+        raise ConfigurationError(f"gamma must be in (0, 1), got {gamma}")
+    rewards: Dict[int, float] = {node: contributions.get(node, 0.0) for node in tree.nodes()}
+    for node in tree.nodes():
+        base = contributions.get(node, 0.0)
+        if base == 0.0:
+            continue
+        factor = gamma
+        for ancestor in tree.ancestors(node):
+            rewards[ancestor] += factor * base
+            factor *= gamma
+    return rewards
+
+
+def lv_moscibroda_rewards(
+    tree: IncentiveTree,
+    contributions: Mapping[int, float],
+) -> Dict[int, float]:
+    """The contribution-based rule quoted from [24] in the §4 examples.
+
+    ``p_j = 2·c_j + ln(1 - c_j / S)`` with ``S = Σ_i c_i`` and the log
+    argument clamped below at ``1/(1 + S)``.  Nodes with zero contribution
+    receive 0 (``ln(1) = 0``), matching the paper's Fig. 3 honest case.
+    """
+    total = sum(max(0.0, contributions.get(node, 0.0)) for node in tree.nodes())
+    rewards: Dict[int, float] = {}
+    for node in tree.nodes():
+        c = contributions.get(node, 0.0)
+        if c <= 0.0 or total <= 0.0:
+            rewards[node] = 0.0
+            continue
+        arg = max(1.0 - c / total, 1.0 / (1.0 + total))
+        rewards[node] = 2.0 * c + math.log(arg)
+    return rewards

@@ -1,0 +1,318 @@
+"""Command-line front-end: ``rit`` (or ``python -m repro``).
+
+Subcommands
+-----------
+``rit experiment <id>``   regenerate one paper figure and print its table
+                          (ids: fig6a fig6b fig7a fig7b fig8a fig8b fig9, or
+                          ``all``); ``--scale`` picks a preset,
+                          ``--save PATH`` writes the JSON result.
+``rit challenges``        run the §4 design-challenge counterexamples.
+``rit bounds``            print the Lemma 6.2 bound / round-budget table
+                          for a given configuration.
+``rit demo``              run one end-to-end scenario and print a summary.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.simulation import experiments as exp
+from repro.simulation.reporting import format_comparison_row, format_result
+
+__all__ = ["main", "build_parser"]
+
+_EXPERIMENTS = {
+    "fig6a": exp.fig6a,
+    "fig6b": exp.fig6b,
+    "fig7a": exp.fig7a,
+    "fig7b": exp.fig7b,
+    "fig8a": exp.fig8a,
+    "fig8b": exp.fig8b,
+    "fig9": exp.fig9,
+}
+
+_SCALES = {
+    "paper": exp.PAPER_SCALE,
+    "default": exp.DEFAULT_SCALE,
+    "smoke": exp.SMOKE_SCALE,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="rit",
+        description="RIT — robust incentive trees for crowdsensing "
+        "(ICDCS 2017 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_exp = sub.add_parser("experiment", help="regenerate a paper figure")
+    p_exp.add_argument("id", choices=sorted(_EXPERIMENTS) + ["all"])
+    p_exp.add_argument(
+        "--scale", choices=sorted(_SCALES), default=None, help="scale preset"
+    )
+    p_exp.add_argument("--seed", type=int, default=None, help="root RNG seed")
+    p_exp.add_argument("--save", default=None, help="write result JSON here")
+    p_exp.add_argument(
+        "--chart", action="store_true", help="also render an ASCII chart"
+    )
+    p_exp.add_argument(
+        "--store", default=None, help="result-store directory to save into"
+    )
+    p_exp.add_argument(
+        "--tag", default="latest", help="tag for the stored result"
+    )
+    p_exp.add_argument(
+        "--baseline",
+        default=None,
+        help="stored tag to regression-compare against (requires --store)",
+    )
+    p_exp.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="relative drift tolerance for --baseline comparisons",
+    )
+
+    p_ch = sub.add_parser("challenges", help="run the §4 counterexamples")
+
+    p_b = sub.add_parser("bounds", help="Lemma 6.2 bounds / round budgets")
+    p_b.add_argument("--h", type=float, default=0.8, help="target probability H")
+    p_b.add_argument("--types", type=int, default=10, help="number of task types m")
+    p_b.add_argument("--kmax", type=int, default=20, help="K_max")
+    p_b.add_argument(
+        "--tasks",
+        type=int,
+        nargs="+",
+        default=[100, 300, 500, 1000, 3000, 5000],
+        help="m_i values to tabulate",
+    )
+
+    p_rep = sub.add_parser(
+        "report", help="rerun the full reproduction and emit a markdown report"
+    )
+    p_rep.add_argument(
+        "--scale", choices=sorted(_SCALES), default=None, help="scale preset"
+    )
+    p_rep.add_argument("--seed", type=int, default=None, help="root RNG seed")
+    p_rep.add_argument("--out", default=None, help="write the report here")
+    p_rep.add_argument(
+        "--figures", nargs="+", default=None, help="subset of figure ids"
+    )
+    p_rep.add_argument(
+        "--no-charts", action="store_true", help="skip the ASCII charts"
+    )
+
+    p_audit = sub.add_parser(
+        "audit",
+        help="adversarial robustness probe: search deviations for a winner",
+    )
+    p_audit.add_argument("--users", type=int, default=1500)
+    p_audit.add_argument("--tasks-per-type", type=int, default=150)
+    p_audit.add_argument("--types", type=int, default=4)
+    p_audit.add_argument("--seed", type=int, default=0)
+    p_audit.add_argument(
+        "--reps", type=int, default=20, help="paired runs per candidate"
+    )
+    p_audit.add_argument(
+        "--max-capacity", type=int, default=6,
+        help="audit a victim with at most this capacity (the guarantee "
+        "regime needs K_j << m_i; see EXPERIMENTS.md)",
+    )
+
+    p_demo = sub.add_parser("demo", help="run one end-to-end scenario")
+    p_demo.add_argument("--users", type=int, default=1000)
+    p_demo.add_argument("--tasks-per-type", type=int, default=50)
+    p_demo.add_argument("--types", type=int, default=10)
+    p_demo.add_argument("--seed", type=int, default=None)
+    p_demo.add_argument(
+        "--explain", action="store_true",
+        help="narrate the run (per-type clearing, top earners/recruiters)",
+    )
+    return parser
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    scale = _SCALES[args.scale] if args.scale else None
+    ids = sorted(_EXPERIMENTS) if args.id == "all" else [args.id]
+    store = None
+    if args.store:
+        from repro.simulation.store import ResultStore
+
+        store = ResultStore(args.store)
+    drifted = False
+    for exp_id in ids:
+        result = _EXPERIMENTS[exp_id](scale, rng=args.seed)
+        print(format_result(result))
+        if getattr(args, "chart", False):
+            from repro.simulation.plotting import render_result
+
+            print()
+            print(render_result(result))
+        print()
+        if args.save:
+            path = args.save if len(ids) == 1 else f"{args.save}.{exp_id}.json"
+            result.save(path)
+            print(f"saved -> {path}")
+        if store is not None:
+            if args.baseline:
+                drifts = store.check_regression(
+                    result, args.baseline, tolerance=args.tolerance
+                )
+                if drifts:
+                    drifted = True
+                    print(f"REGRESSION vs {args.baseline!r}:")
+                    for drift in drifts:
+                        print(f"  {drift}")
+                else:
+                    print(f"no drift vs {args.baseline!r} "
+                          f"(tolerance {args.tolerance:.0%})")
+            path = store.save(result, args.tag)
+            print(f"stored -> {path}")
+    return 1 if drifted else 0
+
+
+def _cmd_challenges(_: argparse.Namespace) -> int:
+    for report in (exp.design_challenge_fig2(), exp.design_challenge_fig3()):
+        print(report.description)
+        print(
+            "  "
+            + format_comparison_row(
+                "utility", report.honest_utility, report.deviant_utility
+            )
+        )
+    return 0
+
+
+def _cmd_bounds(args: argparse.Namespace) -> int:
+    from repro.analysis.theory import budget_table
+
+    rows = budget_table(args.h, args.types, args.kmax, args.tasks)
+    print(f"H={args.h}  m={args.types}  K_max={args.kmax}   (log base 10)")
+    print(f"{'m_i':>8}  {'per-round bound':>16}  {'lemma budget':>12}")
+    for m_i, bound, budget in rows:
+        print(f"{m_i:>8}  {bound:>16.4f}  {budget:>12}")
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro.core import RIT, Job
+    from repro.workloads import paper_scenario
+    from repro.workloads.users import UserDistribution
+
+    job = Job.uniform(args.types, args.tasks_per_type)
+    scenario = paper_scenario(
+        args.users,
+        job,
+        args.seed,
+        distribution=UserDistribution(num_types=args.types),
+    )
+    mechanism = RIT(h=0.8, round_budget="until-complete")
+    outcome = mechanism.run(job, scenario.truthful_asks(), scenario.tree, args.seed)
+    print(f"scenario: {scenario.name}  users={scenario.num_users}  |J|={job.size}")
+    print(f"tree height: {scenario.tree.max_depth()}")
+    print(f"completed: {outcome.completed}")
+    print(f"tasks allocated: {outcome.total_allocated}")
+    print(f"auction payments: {outcome.total_auction_payment:,.2f}")
+    print(f"total payments:   {outcome.total_payment:,.2f}")
+    print(
+        "solicitation outlay: "
+        f"{outcome.total_payment - outcome.total_auction_payment:,.2f}"
+    )
+    print(f"CRA rounds run: {len(outcome.rounds)}")
+    print(f"elapsed: {outcome.elapsed_total * 1000:.1f} ms")
+    if args.explain:
+        from repro.simulation.explain import explain_outcome
+
+        print()
+        print(explain_outcome(
+            outcome, job, scenario.truthful_asks(), scenario.tree
+        ))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.simulation.report import generate_report
+
+    scale = _SCALES[args.scale] if args.scale else None
+    text = generate_report(
+        scale=scale,
+        figures=args.figures,
+        rng=args.seed,
+        charts=not args.no_charts,
+        path=args.out,
+    )
+    print(text)
+    if args.out:
+        print(f"(written to {args.out})")
+    return 0
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    from repro.attacks.search import best_deviation
+    from repro.core import RIT, Job
+    from repro.workloads import paper_scenario
+    from repro.workloads.users import UserDistribution
+
+    job = Job.uniform(args.types, args.tasks_per_type)
+    scenario = paper_scenario(
+        args.users,
+        job,
+        args.seed,
+        distribution=UserDistribution(num_types=args.types),
+        supply_threshold=True,
+    )
+    mech = RIT(h=0.8, round_budget="until-complete")
+    asks = scenario.truthful_asks()
+    probe = mech.run(job, asks, scenario.tree, rng=args.seed)
+    candidates = [
+        uid
+        for uid in probe.auction_payments
+        if scenario.population[uid].capacity <= args.max_capacity
+    ]
+    if not candidates:
+        print("no winner within the capacity cap on this instance; "
+              "re-seed or raise --max-capacity")
+        return 1
+    victim = max(candidates, key=probe.auction_payment_of)
+    user = scenario.population[victim]
+    print(f"auditing user {victim}: type τ{user.task_type}, "
+          f"K={user.capacity}, cost {user.cost:.3f} "
+          f"(truthful auction payment {probe.auction_payment_of(victim):.3f})")
+    report = best_deviation(
+        mech, job, asks, scenario.tree, victim, user.cost,
+        capacity=user.capacity, reps=args.reps, rng=args.seed,
+    )
+    print(report.summary())
+    summary = report.best.comparison.gain_summary(rng=0)
+    verdict = (
+        "statistically significant — the mechanism IS exploitable here"
+        if summary.significant
+        else "not statistically significant at 5% — consistent with the "
+        "(K_max, H) guarantee"
+    )
+    print(f"best candidate statistics: {summary} -> {verdict}")
+    print("\nall candidates (gain, kind, detail):")
+    for candidate in sorted(report.candidates, key=lambda c: -c.gain):
+        print(f"  {candidate.gain:+9.4f}  {candidate.kind:12s}  "
+              f"{candidate.detail}")
+    return 0 if not summary.significant else 2
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "experiment": _cmd_experiment,
+        "challenges": _cmd_challenges,
+        "bounds": _cmd_bounds,
+        "demo": _cmd_demo,
+        "report": _cmd_report,
+        "audit": _cmd_audit,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

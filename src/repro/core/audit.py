@@ -1,0 +1,114 @@
+"""Auditing wrapper: runtime invariant checks around any mechanism.
+
+Downstream adopters plugging custom components (a different auction, a
+different reward rule, a new budget policy) need a cheap way to catch
+contract violations early.  :class:`AuditedMechanism` wraps any
+:class:`~repro.core.mechanism.Mechanism` and validates every outcome
+against the model's structural invariants:
+
+* all-or-nothing: a non-completed outcome must be fully void;
+* per-type coverage: a completed outcome allocates exactly ``m_i`` tasks
+  of every type to bidders of that type;
+* capacity: nobody exceeds its claimed capacity;
+* payment sanity: payments are finite and non-negative, final >= auction
+  per participant, and total final <= 2x total auction (the §7-C bound) —
+  the last check only when the mechanism opts in (referral-style
+  mechanisms), since baselines like the naive combo legitimately break it.
+
+Violations raise :class:`~repro.core.exceptions.MechanismError` with a
+precise description.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping
+
+from repro.core.exceptions import MechanismError
+from repro.core.mechanism import Mechanism
+from repro.core.outcome import MechanismOutcome
+from repro.core.rng import SeedLike
+from repro.core.types import Ask, Job
+from repro.tree.incentive_tree import IncentiveTree
+
+__all__ = ["AuditedMechanism", "audit_outcome"]
+
+
+def audit_outcome(
+    outcome: MechanismOutcome,
+    job: Job,
+    asks: Mapping[int, Ask],
+    *,
+    check_referral_bound: bool = True,
+) -> None:
+    """Validate an outcome against the model invariants; raise on failure."""
+    if not outcome.completed:
+        if outcome.allocation or outcome.payments or outcome.auction_payments:
+            raise MechanismError(
+                "voided outcome still carries allocations or payments"
+            )
+        return
+
+    per_type = {tau: 0 for tau in job.types()}
+    for uid, x in outcome.allocation.items():
+        if uid not in asks:
+            raise MechanismError(f"allocation to unknown participant {uid}")
+        if x < 0:
+            raise MechanismError(f"negative allocation {x} for {uid}")
+        if x > asks[uid].capacity:
+            raise MechanismError(
+                f"participant {uid} allocated {x} > claimed capacity "
+                f"{asks[uid].capacity}"
+            )
+        per_type[asks[uid].task_type] += x
+    for tau in job.types():
+        if per_type[tau] != job.tasks_of(tau):
+            raise MechanismError(
+                f"type {tau}: allocated {per_type[tau]} != requested "
+                f"{job.tasks_of(tau)}"
+            )
+
+    for label, payments in (
+        ("auction payment", outcome.auction_payments),
+        ("payment", outcome.payments),
+    ):
+        for uid, p in payments.items():
+            if not math.isfinite(p):
+                raise MechanismError(f"non-finite {label} {p} for {uid}")
+            if p < -1e-9:
+                raise MechanismError(f"negative {label} {p} for {uid}")
+
+    if check_referral_bound:
+        for uid, pa in outcome.auction_payments.items():
+            if outcome.payment_of(uid) < pa - 1e-9:
+                raise MechanismError(
+                    f"participant {uid}: final payment "
+                    f"{outcome.payment_of(uid)} below auction payment {pa}"
+                )
+        if outcome.total_payment > 2 * outcome.total_auction_payment + 1e-9:
+            raise MechanismError(
+                "total payment exceeds twice the auction total "
+                f"({outcome.total_payment} > 2*{outcome.total_auction_payment})"
+            )
+
+
+class AuditedMechanism(Mechanism):
+    """Run an inner mechanism, then audit the outcome before returning it."""
+
+    def __init__(self, inner: Mechanism, *, check_referral_bound: bool = True):
+        self.inner = inner
+        self.check_referral_bound = bool(check_referral_bound)
+        self.name = f"audited({inner.name})"
+
+    def run(
+        self,
+        job: Job,
+        asks: Mapping[int, Ask],
+        tree: IncentiveTree,
+        rng: SeedLike = None,
+    ) -> MechanismOutcome:
+        outcome = self.inner.run(job, asks, tree, rng)
+        audit_outcome(
+            outcome, job, asks, check_referral_bound=self.check_referral_bound
+        )
+        return outcome

@@ -1,0 +1,174 @@
+"""Theoretical probability bounds from Section 6 of the paper.
+
+* :func:`cra_truthful_probability` — the Lemma 6.2 lower bound on the
+  probability that one CRA round is ``k``-truthful:
+
+      (1 - 1/(q + m_i))^k  +  log10(1 - 2k/(q + m_i))  -  exp(-(q + m_i)/8)
+
+  The logarithm is **base 10**: the paper never states the base, but both of
+  its worked numeric examples only reproduce with ``log10`` —
+
+  - Remark 6.1: ``k = K_max = 10``, ``m_i = 1000``, ``q = 0``  →  "0.98"
+    (we get 0.98127 with log10; 0.9609 with log2; 0.9698 with ln);
+  - Remark 6.1: ``k = 10``, ``q + m_i = 50``  →  "0.59"
+    (we get 0.593 with log10; 0.525 with ln; 0.325 with log2).
+
+  The base is exposed as a keyword for sensitivity studies.
+
+* :func:`per_type_target` — ``η = H^(1/m)`` (Algorithm 3 line 2 /
+  Lemma 6.3): each of the ``m`` task types must be K_max-truthful with
+  probability at least ``η`` so the whole auction phase reaches ``H``.
+
+* :func:`max_rounds` — the per-type CRA round budget (Algorithm 3 line 7):
+  the largest integer ``max`` with ``P_min^max >= η``, where ``P_min`` is the
+  Lemma 6.2 bound at its worst case ``q = 0``.
+
+* :func:`min_unit_asks` — Remark 6.1's threshold-``N`` rule: the solicitation
+  phase should recruit until each type ``τ_i`` has at least ``2·m_i`` unit
+  asks available (so CRA can always select up to ``q + m_i`` potential
+  winners).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.core.exceptions import ConfigurationError
+
+__all__ = [
+    "cra_truthful_probability",
+    "per_type_target",
+    "max_rounds",
+    "min_unit_asks",
+    "rit_truthful_probability",
+]
+
+
+def _log(x: float, base: float) -> float:
+    return math.log(x) / math.log(base)
+
+
+def cra_truthful_probability(
+    k: int, q: int, m_i: int, *, log_base: float = 10.0
+) -> float:
+    """Lemma 6.2 lower bound on one CRA round being ``k``-truthful.
+
+    Parameters
+    ----------
+    k:
+        Coalition size (``K_max`` in RIT's usage).
+    q:
+        Number of still-unallocated tasks of the type when the round runs.
+    m_i:
+        Number of tasks of the type requested by the job.
+    log_base:
+        Base of the consensus-failure log term; 10 by default (see module
+        docstring).  Use 2 for the classical Goldberg–Hartline accounting.
+
+    Returns
+    -------
+    float
+        The lower bound.  May be negative for small ``q + m_i`` (the bound
+        is then vacuous); callers clamp as appropriate.
+    """
+    if k < 0:
+        raise ConfigurationError(f"coalition size k must be >= 0, got {k}")
+    if q < 0 or m_i <= 0:
+        raise ConfigurationError(f"need q >= 0 and m_i > 0, got q={q}, m_i={m_i}")
+    if log_base <= 1.0:
+        raise ConfigurationError(f"log_base must exceed 1, got {log_base}")
+    denom = q + m_i
+    sample_term = (1.0 - 1.0 / denom) ** k
+    ratio = 1.0 - 2.0 * k / denom
+    if ratio <= 0.0:
+        # 2k >= q + m_i: the consensus term is unbounded below; the lemma
+        # offers no guarantee.
+        return -math.inf
+    consensus_term = _log(ratio, log_base)
+    chernoff_term = math.exp(-denom / 8.0)
+    return sample_term + consensus_term - chernoff_term
+
+
+def per_type_target(h: float, num_types: int) -> float:
+    """``η = H^(1/m)`` — per-type truthfulness target (Alg. 3 line 2)."""
+    if not 0.0 < h < 1.0:
+        raise ConfigurationError(f"H must lie in (0, 1), got {h}")
+    if num_types <= 0:
+        raise ConfigurationError(f"num_types must be positive, got {num_types}")
+    return h ** (1.0 / num_types)
+
+
+def max_rounds(
+    h: float,
+    num_types: int,
+    k_max: int,
+    m_i: int,
+    *,
+    log_base: float = 10.0,
+) -> int:
+    """Per-type CRA round budget (Algorithm 3 line 7).
+
+    The budget is the largest integer ``r`` such that ``P_min^r >= η`` with
+    ``η = H^(1/m)`` and ``P_min`` the Lemma 6.2 bound at the worst case
+    ``q = 0`` (the bound decreases as ``q`` shrinks — Remark 6.1 — so a
+    budget valid at ``q = 0`` is valid for every round).
+
+    Returns 0 when the per-round bound itself is not strong enough to
+    support even a single round at probability ``η`` (callers then void the
+    outcome, or the workload must raise ``m_i`` relative to ``K_max``).
+    """
+    eta = per_type_target(h, num_types)
+    p_min = cra_truthful_probability(k_max, 0, m_i, log_base=log_base)
+    if p_min <= 0.0:
+        return 0
+    if p_min >= 1.0:
+        # Degenerate: every round is truthful with certainty (k_max == 0
+        # cannot happen for real users, but guard anyway).  No cap needed;
+        # use a budget large enough to always finish: m_i rounds allocate
+        # at least one task each when supply exists.
+        return m_i
+    if p_min < eta:
+        return 0
+    # P_min^r >= eta  <=>  r <= ln(eta)/ln(P_min)   (both logs negative).
+    return int(math.floor(math.log(eta) / math.log(p_min)))
+
+
+def min_unit_asks(m_i: int) -> int:
+    """Remark 6.1 threshold rule: required unit-ask supply for type ``τ_i``.
+
+    CRA may need to select up to ``q + m_i <= 2·m_i`` potential winners, so
+    solicitation should continue until the recruited users can jointly
+    place at least ``2·m_i`` unit asks for the type.
+    """
+    if m_i < 0:
+        raise ConfigurationError(f"m_i must be >= 0, got {m_i}")
+    return 2 * m_i
+
+
+def rit_truthful_probability(
+    h: float,
+    num_types: int,
+    k_max: int,
+    task_counts: Sequence[int],
+    *,
+    log_base: float = 10.0,
+) -> float:
+    """Bound on the probability that a full RIT run is K_max-truthful.
+
+    Multiplies the per-type guarantee ``P_min^max`` across the job's types
+    using the actual round budgets; by construction this is at least ``H``
+    whenever every budget is positive.  Exposed for the analysis toolkit so
+    experiments can report the theoretical guarantee next to the empirical
+    rate.
+    """
+    total = 1.0
+    for m_i in task_counts:
+        if m_i == 0:
+            continue
+        rounds = max_rounds(h, num_types, k_max, m_i, log_base=log_base)
+        if rounds == 0:
+            return 0.0
+        p_min = cra_truthful_probability(k_max, 0, m_i, log_base=log_base)
+        total *= max(0.0, p_min) ** rounds
+    return total

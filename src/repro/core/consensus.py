@@ -1,0 +1,124 @@
+"""Consensus rounding (Goldberg–Hartline style), used by CRA (Algorithm 1).
+
+The collusion-resistance of CRA rests on the *consensus estimate* idea of
+Goldberg & Hartline ("Collusion-resistant mechanisms for single-parameter
+agents", SODA 2005, reference [12] of the paper): instead of using a
+quantity ``z`` that a small coalition can perturb slightly, the mechanism
+uses a randomized rounding of ``z`` onto the sparse grid
+
+    G(y) = { 2^(z + y) : z ∈ ℤ },      y ~ U[0, 1)
+
+rounding *down* to the nearest grid point.  For most draws of ``y`` a small
+multiplicative perturbation of ``z`` does not move the rounded value — the
+rounding is a "consensus" among nearby inputs — so a coalition of ``k``
+manipulators changes the outcome only with small probability.
+
+This module implements the grid rounding, the exact probability that a
+perturbation changes the rounded value, and the ``k``-consensus predicate
+used in the Lemma 6.2 analysis.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+from repro.core.exceptions import ConfigurationError
+from repro.core.rng import SeedLike, as_generator
+
+__all__ = [
+    "round_down_to_grid",
+    "round_up_to_grid",
+    "grid_exponent",
+    "is_k_consensus",
+    "change_probability",
+    "draw_offset",
+]
+
+
+def draw_offset(rng: SeedLike = None) -> float:
+    """Draw the uniform grid offset ``y ∈ [0, 1)`` used by one CRA run."""
+    return float(as_generator(rng).uniform(0.0, 1.0))
+
+
+def grid_exponent(value: float, offset: float) -> int:
+    """Largest integer ``z`` with ``2^(z + offset) <= value``.
+
+    ``value`` must be positive; ``offset`` must be in ``[0, 1)``.
+    """
+    _check_args(value, offset)
+    # z <= log2(value) - offset; guard against float roundoff at the
+    # boundary (e.g. value == 2^(z+offset) exactly) by nudging and checking.
+    z = math.floor(math.log2(value) - offset)
+    # Repair off-by-one from floating point error in either direction.
+    while 2.0 ** (z + 1 + offset) <= value:
+        z += 1
+    while 2.0 ** (z + offset) > value:
+        z -= 1
+    return z
+
+
+def round_down_to_grid(value: float, offset: float) -> float:
+    """Round ``value`` down to the nearest element of ``{2^(z+offset)}``.
+
+    Returns ``0.0`` for ``value <= 0`` — the paper's ``n_s`` is zero when no
+    ask is at most the sampled price (``z_s(α) = 0``).
+    """
+    if value <= 0:
+        return 0.0
+    return 2.0 ** (grid_exponent(value, offset) + offset)
+
+
+def round_up_to_grid(value: float, offset: float) -> float:
+    """Round ``value`` up to the nearest element of ``{2^(z+offset)}``."""
+    if value <= 0:
+        raise ConfigurationError(f"round_up_to_grid needs value > 0, got {value}")
+    down = round_down_to_grid(value, offset)
+    if down == value:
+        return down
+    return down * 2.0
+
+
+def is_k_consensus(value: float, k: float, offset: float) -> bool:
+    """Is the rounding of ``value`` a *k-consensus* under offset ``y``?
+
+    Following [12], ``round_down`` applied at ``value`` is a ``k``-consensus
+    when every input in the perturbation interval ``[value - k, value]``
+    (a coalition of ``k`` unit asks can lower the count of asks below the
+    price by at most ``k``) rounds to the same grid point.  When it is, no
+    coalition of size ``k`` can move the consensus estimate.
+
+    ``value`` counts unit asks so it is a non-negative number; ``k >= 0``.
+    """
+    if k < 0:
+        raise ConfigurationError(f"k must be >= 0, got {k}")
+    if value <= 0:
+        return k == 0
+    lo = value - k
+    if lo <= 0:
+        # A coalition could drive the count to zero — never a consensus
+        # (the rounded value collapses from positive to 0).
+        return k == 0 or round_down_to_grid(value, offset) == 0.0
+    return round_down_to_grid(lo, offset) == round_down_to_grid(value, offset)
+
+
+def change_probability(value: float, k: float) -> float:
+    """Probability over ``y ~ U[0,1)`` that rounding is *not* a k-consensus.
+
+    For ``0 < k < value`` the grid point falls inside ``(value - k, value]``
+    with probability ``log2(value / (value - k))`` when that quantity is at
+    most 1 (one grid point per octave).  This is the quantity that appears —
+    rebased — as the ``log(1 - 2k/(q+m_i))`` term of Lemma 6.2.
+    """
+    if k <= 0:
+        return 0.0
+    if value <= 0 or k >= value:
+        return 1.0
+    return min(1.0, math.log2(value / (value - k)))
+
+
+def _check_args(value: float, offset: float) -> None:
+    if not (value > 0) or not math.isfinite(value):
+        raise ConfigurationError(f"value must be finite and > 0, got {value}")
+    if not 0.0 <= offset < 1.0:
+        raise ConfigurationError(f"offset must be in [0, 1), got {offset}")

@@ -1,0 +1,70 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything coming out of the mechanism stack with a single handler,
+while still being able to discriminate configuration problems from runtime
+mechanism failures.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "ModelError",
+    "MechanismError",
+    "AllocationError",
+    "TreeError",
+    "GraphError",
+    "AttackError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A user-supplied parameter is outside its documented domain.
+
+    Examples: a truthfulness target ``H`` outside ``(0, 1)``, a negative
+    task count, or a unit cost that is not strictly positive.
+    """
+
+
+class ModelError(ReproError, ValueError):
+    """The crowdsensing model objects are inconsistent with each other.
+
+    Examples: an ask referencing a task type the job does not contain, or
+    a claimed capacity ``k_j`` exceeding the true capability ``K_j``.
+    """
+
+
+class MechanismError(ReproError, RuntimeError):
+    """A mechanism could not be executed on the given input."""
+
+
+class AllocationError(MechanismError):
+    """The auction phase could not allocate all requested tasks.
+
+    RIT treats this as a *void* outcome (all payments and allocations are
+    zeroed, per Algorithm 3 line 27); the error type exists for callers who
+    prefer an exception over inspecting :attr:`RITOutcome.completed`.
+    """
+
+
+class TreeError(ReproError, ValueError):
+    """An incentive-tree operation violated the tree's structural invariants."""
+
+
+class GraphError(ReproError, ValueError):
+    """A social-graph operation received inconsistent node or edge data."""
+
+
+class AttackError(ReproError, ValueError):
+    """A sybil attack or misreport specification is infeasible.
+
+    Examples: splitting a user into identities whose combined claimed
+    capacity exceeds the user's true capability ``K_j``, or attaching an
+    identity to a node the attack model forbids.
+    """

@@ -1,0 +1,115 @@
+"""Extract (Algorithm 2): expand user asks into per-type unit asks.
+
+CRA auctions *unit* asks — each bids for exactly one task.  Users, however,
+submit a single capacity ask ``(t_j, k_j, a_j)``.  ``Extract(τ_i, A)``
+scans the ask profile in increasing user-id order and, for every ask of
+type ``τ_i``, emits ``k_j`` unit asks of value ``a_j``, remembering the
+owner through the provenance map ``λ(ω) = j``.
+
+Example (paper §5-B): for ``A = ((τ1,2,3); (τ2,3,4); (τ1,4,2))``,
+``Extract(τ1, A)`` yields ``α = (3,3,2,2,2,2)`` with
+``λ = (1,1,3,3,3,3)`` (1-based in the paper; 0-based user ids here).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Mapping
+
+import numpy as np
+
+from repro.core.exceptions import ModelError
+from repro.core.types import Ask, TaskType
+
+__all__ = ["UnitAsks", "extract"]
+
+
+@dataclass(frozen=True)
+class UnitAsks:
+    """A vector of unit asks for one task type.
+
+    Attributes
+    ----------
+    task_type:
+        The type every unit ask bids for.
+    values:
+        ``α`` — ask value per unit ask, shape ``(W,)`` float64.
+    owners:
+        ``λ`` — owner user id per unit ask, shape ``(W,)`` int64, aligned
+        with :attr:`values`.
+    """
+
+    task_type: TaskType
+    values: np.ndarray
+    owners: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.values.shape != self.owners.shape or self.values.ndim != 1:
+            raise ModelError(
+                f"values {self.values.shape} and owners {self.owners.shape} "
+                "must be aligned 1-D arrays"
+            )
+
+    def __len__(self) -> int:
+        return int(self.values.shape[0])
+
+    def owner_of(self, index: int) -> int:
+        """``λ(ω)`` — the user id behind unit ask ``ω``."""
+        return int(self.owners[index])
+
+    def capacity_of(self, user_id: int) -> int:
+        """Number of unit asks contributed by ``user_id``."""
+        return int(np.count_nonzero(self.owners == user_id))
+
+
+def extract(
+    task_type: TaskType,
+    asks: Mapping[int, Ask],
+    *,
+    capacities: Mapping[int, int] | None = None,
+) -> UnitAsks:
+    """Algorithm 2 — build the unit-ask vector ``(α, λ)`` for ``task_type``.
+
+    Parameters
+    ----------
+    task_type:
+        The type ``τ_i`` to extract unit asks for.
+    asks:
+        The ask profile ``A`` keyed by user id.  Users are scanned in the
+        mapping's iteration order — the paper's ``j = 1 … N`` loop, with
+        the profile's insertion order standing in for the join order.
+        (Honest profiles are built in id order; the attack harness splices
+        sybil identities at the victim's position so that same-value
+        splits leave the unit-ask *vector* — not just its multiset —
+        unchanged, making paired-coin comparisons exact.)
+    capacities:
+        Optional override of the per-user remaining capacity ``k'_j``
+        (Algorithm 3 keeps a working copy that shrinks as tasks are won).
+        Users with remaining capacity 0 contribute no unit asks; missing
+        keys default to the ask's own capacity.
+
+    Returns
+    -------
+    UnitAsks
+        The expanded vector.  May be empty when no user bids for the type.
+    """
+    values: List[float] = []
+    owners: List[int] = []
+    for user_id, ask in asks.items():
+        if ask.task_type != task_type:
+            continue
+        k = ask.capacity if capacities is None else capacities.get(user_id, ask.capacity)
+        if k < 0:
+            raise ModelError(f"negative remaining capacity {k} for user {user_id}")
+        if k > ask.capacity:
+            raise ModelError(
+                f"remaining capacity {k} exceeds claimed capacity "
+                f"{ask.capacity} for user {user_id}"
+            )
+        values.extend([ask.value] * k)
+        owners.extend([user_id] * k)
+    return UnitAsks(
+        task_type=task_type,
+        values=np.asarray(values, dtype=np.float64),
+        owners=np.asarray(owners, dtype=np.int64),
+    )

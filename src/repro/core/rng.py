@@ -1,0 +1,82 @@
+"""Randomness management.
+
+Every randomized component of the library (CRA's sampling, consensus
+rounding offset, winner subsampling, workload generation, graph generation,
+attack generation) draws from a :class:`numpy.random.Generator` passed in
+explicitly.  This module centralizes:
+
+* normalization of "seed-like" arguments (``None`` / int / Generator);
+* deterministic *spawning* of independent child streams, so a simulation
+  with ``reps`` repetitions gets ``reps`` reproducible, independent
+  generators from one root seed.
+
+Nothing in the library touches the global numpy RNG state.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Union
+
+import numpy as np
+
+__all__ = ["SeedLike", "as_generator", "spawn", "spawn_seeds", "spawn_stream"]
+
+SeedLike = Union[None, int, np.random.SeedSequence, np.random.Generator]
+
+
+def as_generator(seed: SeedLike = None) -> np.random.Generator:
+    """Normalize a seed-like argument into a ``numpy.random.Generator``.
+
+    * ``None`` → fresh OS-entropy generator;
+    * ``int`` / ``SeedSequence`` → deterministic PCG64 generator;
+    * an existing ``Generator`` is returned unchanged (shared state).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn(seed: SeedLike, n: int) -> List[np.random.Generator]:
+    """``n`` independent generators derived deterministically from ``seed``.
+
+    When ``seed`` is already a Generator, children are spawned from it (this
+    advances the parent's internal spawn counter, not its bit stream).
+    """
+    if n < 0:
+        raise ValueError(f"cannot spawn {n} generators")
+    if isinstance(seed, np.random.Generator):
+        return [np.random.default_rng(s) for s in seed.bit_generator.seed_seq.spawn(n)]  # type: ignore[union-attr]
+    seq = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
+    return [np.random.default_rng(s) for s in seq.spawn(n)]
+
+
+def spawn_seeds(seed: SeedLike, n: int) -> List[np.random.SeedSequence]:
+    """``n`` independent seed sequences derived from ``seed``.
+
+    Unlike :func:`spawn`, the result can seed *several* generators with
+    identical streams — the common-random-numbers device used by the
+    attack evaluator to compare honest and deviant scenarios under the
+    same mechanism coin flips.
+    """
+    if n < 0:
+        raise ValueError(f"cannot spawn {n} seed sequences")
+    if isinstance(seed, np.random.Generator):
+        seq = seed.bit_generator.seed_seq  # type: ignore[union-attr]
+    elif isinstance(seed, np.random.SeedSequence):
+        seq = seed
+    else:
+        seq = np.random.SeedSequence(seed)
+    return list(seq.spawn(n))
+
+
+def spawn_stream(seed: SeedLike) -> Iterator[np.random.Generator]:
+    """Infinite stream of independent generators derived from ``seed``."""
+    if isinstance(seed, np.random.Generator):
+        seq = seed.bit_generator.seed_seq  # type: ignore[union-attr]
+    elif isinstance(seed, np.random.SeedSequence):
+        seq = seed
+    else:
+        seq = np.random.SeedSequence(seed)
+    while True:
+        (child,) = seq.spawn(1)
+        yield np.random.default_rng(child)

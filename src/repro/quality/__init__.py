@@ -1,0 +1,15 @@
+"""Quality-aware extension of RIT (the paper's deferred future work)."""
+
+from repro.quality.mechanism import QualityAwareRIT
+from repro.quality.model import (
+    QualityProfile,
+    reliability_qualities,
+    uniform_qualities,
+)
+
+__all__ = [
+    "QualityProfile",
+    "uniform_qualities",
+    "reliability_qualities",
+    "QualityAwareRIT",
+]

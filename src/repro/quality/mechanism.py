@@ -1,0 +1,106 @@
+"""Quality-aware RIT — virtual-ask transformation over the unmodified core.
+
+The classical single-parameter reduction for public multiplicative
+quality: run the mechanism on **virtual asks** ``a_j / q_j`` (cost per
+unit of effective sensing value) and pay winners their virtual payment
+scaled back by their quality, ``p_j = q_j · p'_j``.
+
+Why this preserves the paper's properties:
+
+* **allocation** favours quality-adjusted cheapness — a user with half
+  the quality must be half the price to compete;
+* **individual rationality**: the core guarantees the virtual payment
+  covers the virtual ask, ``p'_j >= x_j · a_j / q_j``, so the scaled
+  payment covers the real cost, ``q_j · p'_j >= x_j · a_j``;
+* **truthfulness / sybil-proofness**: ``q_j`` is public and constant, so
+  a deviation in ``a_j`` maps monotonically to a deviation in the virtual
+  ask — the core's ``(K_max, H)`` guarantee transfers verbatim (sybil
+  identities inherit the victim's quality: they are the same device);
+* **solicitation incentive**: referral rewards are recomputed from the
+  scaled auction payments through the same tree rule, keeping the
+  Theorem 4 argument intact.
+
+The wrapper never touches the core's internals: it transforms the
+profile, runs any inner RIT, rescales the auction payments, and reapplies
+the payment determination phase.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Mapping, Optional
+
+from repro.core.exceptions import ModelError
+from repro.core.mechanism import Mechanism
+from repro.core.outcome import MechanismOutcome
+from repro.core.payments import tree_payments
+from repro.core.rit import RIT
+from repro.core.rng import SeedLike
+from repro.core.types import Ask, Job
+from repro.quality.model import QualityProfile
+from repro.tree.incentive_tree import IncentiveTree
+
+__all__ = ["QualityAwareRIT"]
+
+
+class QualityAwareRIT(Mechanism):
+    """RIT over virtual (quality-adjusted) asks.
+
+    Parameters
+    ----------
+    qualities:
+        Public quality profile; every bidder must have a score.
+    inner:
+        The core RIT configuration to run on the virtual profile
+        (default: ``RIT()``; its ``decay`` is reused for the payment
+        determination phase).
+    """
+
+    name = "quality-RIT"
+
+    def __init__(self, qualities: QualityProfile, inner: Optional[RIT] = None):
+        self.qualities = qualities
+        self.inner = inner if inner is not None else RIT()
+
+    def run(
+        self,
+        job: Job,
+        asks: Mapping[int, Ask],
+        tree: IncentiveTree,
+        rng: SeedLike = None,
+    ) -> MechanismOutcome:
+        t_start = time.perf_counter()
+        for uid in asks:
+            if uid not in self.qualities:
+                raise ModelError(f"bidder {uid} has no quality score")
+        virtual = {
+            uid: ask.with_value(self.qualities.effective_value(uid, ask.value))
+            for uid, ask in asks.items()
+        }
+        outcome = self.inner.run(job, virtual, tree, rng)
+        if not outcome.completed:
+            outcome.elapsed_total = time.perf_counter() - t_start
+            return outcome
+
+        scaled: Dict[int, float] = {
+            uid: self.qualities[uid] * pa
+            for uid, pa in outcome.auction_payments.items()
+        }
+        types = {uid: ask.task_type for uid, ask in asks.items()}
+        payments = tree_payments(tree, scaled, types, decay=self.inner.decay)
+        result = MechanismOutcome(
+            allocation=dict(outcome.allocation),
+            auction_payments=scaled,
+            payments={uid: p for uid, p in payments.items() if p != 0.0},
+            completed=True,
+            rounds=list(outcome.rounds),
+            elapsed_auction=outcome.elapsed_auction,
+            elapsed_total=time.perf_counter() - t_start,
+        )
+        return result
+
+    def effective_coverage(self, outcome: MechanismOutcome) -> float:
+        """Total effective sensing value delivered, ``Σ_j x_j · q_j``."""
+        return sum(
+            x * self.qualities[uid] for uid, x in outcome.allocation.items()
+        )

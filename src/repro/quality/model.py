@@ -1,0 +1,108 @@
+"""Data-quality model — the paper's deferred extension (§3-C).
+
+The paper notes that *data quality guarantee* properties "are out of the
+scope of this paper and are subject to future research".  This subpackage
+implements the standard single-parameter treatment as that future-work
+extension, cleanly layered on top of the unmodified RIT core:
+
+every user ``P_j`` carries a *public* quality score ``q_j ∈ (0, 1]``
+(estimated by the platform from past submissions, as is customary in
+quality-aware crowdsensing).  A task completed by ``P_j`` delivers ``q_j``
+units of *effective* sensing value, so the platform cares about cost per
+unit of quality — the **virtual ask** ``a_j / q_j``.
+
+This module holds the quality profile container and its generators; the
+mechanism lives in :mod:`repro.quality.mechanism`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Mapping
+
+from repro.core.exceptions import ConfigurationError, ModelError
+from repro.core.rng import SeedLike, as_generator
+from repro.core.types import Population
+
+__all__ = ["QualityProfile", "uniform_qualities", "reliability_qualities"]
+
+
+@dataclass(frozen=True)
+class QualityProfile:
+    """Public per-user quality scores ``q_j ∈ (0, 1]``."""
+
+    scores: Mapping[int, float]
+
+    def __post_init__(self) -> None:
+        for uid, q in self.scores.items():
+            if not 0.0 < q <= 1.0:
+                raise ModelError(
+                    f"quality of user {uid} must lie in (0, 1], got {q}"
+                )
+
+    def __getitem__(self, user_id: int) -> float:
+        try:
+            return self.scores[user_id]
+        except KeyError:
+            raise ModelError(f"no quality score for user {user_id}") from None
+
+    def __contains__(self, user_id: int) -> bool:
+        return user_id in self.scores
+
+    def __len__(self) -> int:
+        return len(self.scores)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.scores)
+
+    def effective_value(self, user_id: int, ask_value: float) -> float:
+        """The virtual (quality-adjusted) ask value ``a_j / q_j``."""
+        return ask_value / self[user_id]
+
+    def covers(self, population: Population) -> bool:
+        """Does every user in the population have a score?"""
+        return all(u.user_id in self.scores for u in population)
+
+
+def uniform_qualities(
+    population: Population,
+    *,
+    low: float = 0.5,
+    high: float = 1.0,
+    rng: SeedLike = None,
+) -> QualityProfile:
+    """i.i.d. qualities ``q_j ~ U(low, high]``."""
+    if not 0.0 < low <= high <= 1.0:
+        raise ConfigurationError(
+            f"need 0 < low <= high <= 1, got low={low}, high={high}"
+        )
+    gen = as_generator(rng)
+    scores = {
+        u.user_id: float(high - (high - low) * gen.random())
+        for u in population
+    }
+    return QualityProfile(scores)
+
+
+def reliability_qualities(
+    population: Population,
+    *,
+    floor: float = 0.3,
+    rng: SeedLike = None,
+) -> QualityProfile:
+    """Qualities correlated with capacity — heavy participants tend to be
+    seasoned, reliable contributors (a common empirical pattern).
+
+    ``q_j = floor + (1 − floor) · (K_j / K_max) · e`` with noise
+    ``e ~ U(0.7, 1.0]``, clipped into ``(0, 1]``.
+    """
+    if not 0.0 < floor < 1.0:
+        raise ConfigurationError(f"floor must be in (0,1), got {floor}")
+    gen = as_generator(rng)
+    k_max = population.k_max
+    scores: Dict[int, float] = {}
+    for u in population:
+        noise = float(gen.uniform(0.7, 1.0))
+        q = floor + (1.0 - floor) * (u.capacity / k_max) * noise
+        scores[u.user_id] = min(1.0, max(1e-9, q))
+    return QualityProfile(scores)

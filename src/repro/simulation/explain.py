@@ -1,0 +1,129 @@
+"""Human-readable narratives of mechanism outcomes.
+
+:func:`explain_outcome` turns a :class:`MechanismOutcome` into the story a
+platform operator wants after a run: did the job clear, what did each type
+cost and why, who the auction paid, where the solicitation money went, and
+which rounds did the work.  Used by ``rit demo --explain`` and handy in
+notebooks.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Optional
+
+from repro.core.outcome import MechanismOutcome
+from repro.core.types import Ask, Job
+from repro.tree.incentive_tree import IncentiveTree
+
+__all__ = ["explain_outcome"]
+
+
+def _fmt(value: float) -> str:
+    return f"{value:,.2f}" if abs(value) >= 100 else f"{value:.3f}"
+
+
+def explain_outcome(
+    outcome: MechanismOutcome,
+    job: Job,
+    asks: Mapping[int, Ask],
+    tree: Optional[IncentiveTree] = None,
+    *,
+    top: int = 3,
+) -> str:
+    """Narrate one mechanism run.
+
+    Parameters
+    ----------
+    outcome / job / asks:
+        The run and its inputs.
+    tree:
+        When given, the solicitation section names recruiters with their
+        subtree sizes.
+    top:
+        How many top earners/recruiters to call out per section.
+    """
+    lines: List[str] = []
+
+    if not outcome.completed:
+        lines.append(
+            "VOID RUN: the auction phase could not cover every task within "
+            "its round budget, so all allocations and payments were zeroed "
+            "(Algorithm 3 line 27)."
+        )
+        if outcome.rounds:
+            by_type: dict = {}
+            for record in outcome.rounds:
+                by_type.setdefault(record.task_type, []).append(record)
+            for tau, records in sorted(by_type.items()):
+                allocated = sum(r.num_winners for r in records)
+                lines.append(
+                    f"  type τ{tau}: {len(records)} round(s) run, "
+                    f"{allocated}/{job.tasks_of(tau)} tasks allocated before "
+                    "giving up"
+                )
+        return "\n".join(lines)
+
+    lines.append(
+        f"COMPLETED: all {job.size} tasks allocated across "
+        f"{job.num_types} types in {len(outcome.rounds)} CRA round(s)."
+    )
+
+    # Per-type clearing story.
+    for tau in job.types():
+        m_i = job.tasks_of(tau)
+        if m_i == 0:
+            continue
+        records = [r for r in outcome.rounds if r.task_type == tau]
+        prices = [r.price for r in records if r.num_winners > 0]
+        winners = {
+            uid for uid, x in outcome.allocation.items()
+            if asks[uid].task_type == tau and x > 0
+        }
+        spend = sum(outcome.auction_payment_of(uid) for uid in winners)
+        price_part = (
+            f"prices {', '.join(_fmt(p) for p in prices)}"
+            if prices
+            else "no clearing price"
+        )
+        lines.append(
+            f"  τ{tau}: {m_i} task(s) -> {len(winners)} winner(s), "
+            f"{len(records)} round(s), {price_part}, spend {_fmt(spend)}"
+        )
+
+    # Money summary.
+    referral_total = outcome.total_payment - outcome.total_auction_payment
+    lines.append(
+        f"platform outlay: {_fmt(outcome.total_payment)} "
+        f"= {_fmt(outcome.total_auction_payment)} auction "
+        f"+ {_fmt(referral_total)} solicitation "
+        f"({referral_total / max(outcome.total_auction_payment, 1e-12):.0%} "
+        "of the auction total; bounded by 100%)"
+    )
+
+    # Top auction earners.
+    earners = sorted(
+        outcome.auction_payments.items(), key=lambda kv: -kv[1]
+    )[:top]
+    if earners:
+        parts = ", ".join(
+            f"P{uid} ({_fmt(pay)} for {outcome.tasks_of(uid)} task(s))"
+            for uid, pay in earners
+        )
+        lines.append(f"top auction earners: {parts}")
+
+    # Top recruiters.
+    rewards = outcome.solicitation_rewards()
+    recruiters = sorted(rewards.items(), key=lambda kv: -kv[1])[:top]
+    if recruiters:
+        parts = []
+        for uid, income in recruiters:
+            if tree is not None and uid in tree:
+                subtree = tree.subtree_size(uid) - 1
+                parts.append(f"P{uid} ({_fmt(income)} from {subtree} recruits)")
+            else:
+                parts.append(f"P{uid} ({_fmt(income)})")
+        lines.append("top recruiters: " + ", ".join(parts))
+    else:
+        lines.append("no solicitation rewards were earned this run.")
+
+    return "\n".join(lines)

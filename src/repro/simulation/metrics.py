@@ -1,0 +1,77 @@
+"""The §7-B performance metrics.
+
+Four metrics drive the paper's evaluation, each computed both for the full
+mechanism (final payments ``p``) and for the auction phase alone (auction
+payments ``p^A``):
+
+* **average user utility** (Fig. 6) — ``Σ_j (p_j − x_j c_j) / n``;
+* **total payment** (Fig. 7) — the platform's expenditure ``Σ_j p_j``;
+* **running time** (Fig. 8) — wall-clock mechanism time;
+* **dishonest user utility** (Fig. 9) — an attacker's summed identity
+  utility, produced by :mod:`repro.attacks.evaluator`.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.core.outcome import MechanismOutcome
+
+__all__ = [
+    "average_utility",
+    "average_auction_utility",
+    "total_payment",
+    "total_auction_payment",
+    "running_time",
+    "auction_running_time",
+    "METRICS",
+]
+
+
+def average_utility(
+    outcome: MechanismOutcome, costs: Mapping[int, float], num_users: int
+) -> float:
+    """Average final utility per user (RIT series of Fig. 6)."""
+    return outcome.average_utility(costs, num_users)
+
+
+def average_auction_utility(
+    outcome: MechanismOutcome, costs: Mapping[int, float], num_users: int
+) -> float:
+    """Average utility if only auction payments were disbursed
+    (the "auction phase" series of Fig. 6)."""
+    total = sum(outcome.auction_payments.values())
+    for pid, x in outcome.allocation.items():
+        total -= x * costs[pid]
+    return total / num_users
+
+
+def total_payment(outcome: MechanismOutcome) -> float:
+    """Platform expenditure under the full mechanism (Fig. 7 RIT series)."""
+    return outcome.total_payment
+
+
+def total_auction_payment(outcome: MechanismOutcome) -> float:
+    """Platform expenditure under auction payments alone (Fig. 7)."""
+    return outcome.total_auction_payment
+
+
+def running_time(outcome: MechanismOutcome) -> float:
+    """Wall-clock seconds of the full mechanism (Fig. 8 RIT series)."""
+    return outcome.elapsed_total
+
+
+def auction_running_time(outcome: MechanismOutcome) -> float:
+    """Wall-clock seconds of the auction phase alone (Fig. 8)."""
+    return outcome.elapsed_auction
+
+
+#: Registry used by the CLI: name → (needs_costs, callable).
+METRICS = {
+    "avg-utility": average_utility,
+    "avg-auction-utility": average_auction_utility,
+    "total-payment": total_payment,
+    "total-auction-payment": total_auction_payment,
+    "running-time": running_time,
+    "auction-running-time": auction_running_time,
+}

@@ -1,0 +1,136 @@
+"""Terminal (ASCII) charts for experiment results.
+
+The benchmark tables give exact numbers; these charts give the *shape* at
+a glance — which is precisely the reproduction target for a scaled-down
+rerun.  No plotting dependency is required: charts are plain text,
+suitable for CI logs and the `rit experiment --chart` flag.
+
+The renderer supports multiple series on a shared canvas, distinct
+per-series markers, a y-axis with tick labels, and an x-axis legend.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.exceptions import ConfigurationError
+from repro.simulation.results import ExperimentResult
+
+__all__ = ["ascii_chart", "render_result"]
+
+#: Marker cycle for overlaid series.
+_MARKERS = "*o+x#@%&"
+
+
+def _scale(value: float, lo: float, hi: float, size: int) -> int:
+    """Map ``value`` in [lo, hi] onto a 0..size-1 cell index."""
+    if hi <= lo:
+        return 0
+    frac = (value - lo) / (hi - lo)
+    return min(size - 1, max(0, int(round(frac * (size - 1)))))
+
+
+def ascii_chart(
+    series: Sequence[Tuple[str, Sequence[float], Sequence[float]]],
+    *,
+    width: int = 60,
+    height: int = 16,
+    y_label: str = "",
+    x_label: str = "",
+) -> str:
+    """Render ``(name, xs, ys)`` triples as a text chart.
+
+    All series share both axes; each gets the next marker in the cycle.
+    """
+    if not series:
+        raise ConfigurationError("nothing to plot")
+    if width < 10 or height < 4:
+        raise ConfigurationError(f"canvas too small: {width}x{height}")
+    for name, xs, ys in series:
+        if len(xs) != len(ys):
+            raise ConfigurationError(f"series {name!r} has misaligned axes")
+        if not xs:
+            raise ConfigurationError(f"series {name!r} is empty")
+
+    all_x = [x for _, xs, _ in series for x in xs]
+    all_y = [y for _, _, ys in series for y in ys if math.isfinite(y)]
+    if not all_y:
+        raise ConfigurationError("no finite values to plot")
+    x_lo, x_hi = min(all_x), max(all_x)
+    y_lo, y_hi = min(all_y), max(all_y)
+    if y_lo == y_hi:
+        pad = abs(y_lo) * 0.1 or 1.0
+        y_lo, y_hi = y_lo - pad, y_hi + pad
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, xs, ys) in enumerate(series):
+        marker = _MARKERS[index % len(_MARKERS)]
+        # Plot segments between consecutive points so trends read as lines.
+        cells = [
+            (_scale(x, x_lo, x_hi, width), _scale(y, y_lo, y_hi, height))
+            for x, y in zip(xs, ys)
+            if math.isfinite(y)
+        ]
+        for (c0, r0), (c1, r1) in zip(cells, cells[1:]):
+            steps = max(abs(c1 - c0), abs(r1 - r0), 1)
+            for s in range(steps + 1):
+                c = round(c0 + (c1 - c0) * s / steps)
+                r = round(r0 + (r1 - r0) * s / steps)
+                if grid[height - 1 - r][c] == " ":
+                    grid[height - 1 - r][c] = "."
+        for c, r in cells:
+            grid[height - 1 - r][c] = marker
+
+    # y-axis labels at top/middle/bottom.
+    labels = {
+        0: f"{y_hi:.3g}",
+        height // 2: f"{(y_lo + y_hi) / 2:.3g}",
+        height - 1: f"{y_lo:.3g}",
+    }
+    label_width = max(len(v) for v in labels.values())
+    lines: List[str] = []
+    if y_label:
+        lines.append(f"{y_label}")
+    for row in range(height):
+        prefix = labels.get(row, "").rjust(label_width)
+        lines.append(f"{prefix} |" + "".join(grid[row]))
+    lines.append(" " * label_width + " +" + "-" * width)
+    x_axis = f"{x_lo:g}".ljust(width - len(f"{x_hi:g}")) + f"{x_hi:g}"
+    lines.append(" " * label_width + "  " + x_axis)
+    if x_label:
+        lines.append(" " * label_width + "  " + x_label.center(width))
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {name}"
+        for i, (name, _, _) in enumerate(series)
+    )
+    lines.append(" " * label_width + "  " + legend)
+    return "\n".join(lines)
+
+
+def render_result(
+    result: ExperimentResult,
+    *,
+    series_names: Optional[Sequence[str]] = None,
+    width: int = 60,
+    height: int = 16,
+) -> str:
+    """Chart an :class:`ExperimentResult`'s series (mean lines)."""
+    names = (
+        list(series_names)
+        if series_names is not None
+        else [s.name for s in result.series if s.name != "completion rate"]
+    )
+    triples = []
+    for name in names:
+        s = result.get(name)
+        triples.append((name, s.xs, s.means))
+    header = f"{result.experiment_id}: {result.title}"
+    chart = ascii_chart(
+        triples,
+        width=width,
+        height=height,
+        y_label=result.y_label,
+        x_label=result.x_label,
+    )
+    return f"{header}\n{chart}"

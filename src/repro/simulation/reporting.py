@@ -1,0 +1,82 @@
+"""Plain-text rendering of experiment results.
+
+The benchmark harness prints, for every reproduced figure, the same rows
+the paper plots: one line per x-value with each series' mean (± stderr).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.simulation.results import ExperimentResult, Series
+
+__all__ = ["format_result", "format_comparison_row", "print_result"]
+
+
+def _fmt(value: float) -> str:
+    if value != value:  # NaN
+        return "nan"
+    if abs(value) >= 1000:
+        return f"{value:,.1f}"
+    if abs(value) >= 1:
+        return f"{value:.3f}"
+    return f"{value:.5f}"
+
+
+def format_result(
+    result: ExperimentResult,
+    *,
+    show_stderr: bool = True,
+    series_names: Optional[Sequence[str]] = None,
+) -> str:
+    """Render an :class:`ExperimentResult` as an aligned text table."""
+    names = (
+        list(series_names)
+        if series_names is not None
+        else [s.name for s in result.series]
+    )
+    chosen: List[Series] = [result.get(name) for name in names]
+    xs = sorted({p.x for s in chosen for p in s.points})
+
+    header = [result.x_label] + names
+    rows: List[List[str]] = []
+    for x in xs:
+        row = [f"{x:g}"]
+        for s in chosen:
+            try:
+                point = next(p for p in s.points if p.x == x)
+            except StopIteration:
+                row.append("-")
+                continue
+            cell = _fmt(point.mean)
+            if show_stderr and point.n > 1:
+                cell += f" ±{_fmt(point.stderr)}"
+            row.append(cell)
+        rows.append(row)
+
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in rows)) if rows else len(header[i])
+        for i in range(len(header))
+    ]
+    lines = [
+        f"== {result.experiment_id}: {result.title} ==",
+        f"   ({result.y_label}; config: {result.config})",
+        "  ".join(h.ljust(w) for h, w in zip(header, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_comparison_row(label: str, honest: float, deviant: float) -> str:
+    """One-line honest-vs-deviant comparison (design challenges, attacks)."""
+    verdict = "DEVIATION WINS" if deviant > honest else "honesty holds"
+    return (
+        f"{label}: honest={_fmt(honest)}  deviant={_fmt(deviant)}  -> {verdict}"
+    )
+
+
+def print_result(result: ExperimentResult, **kwargs) -> None:
+    """Print :func:`format_result` to stdout."""
+    print(format_result(result, **kwargs))

@@ -1,0 +1,163 @@
+"""Result containers for simulation experiments.
+
+A paper figure is a set of *series* over a common x-axis (e.g. "RIT" vs
+"auction phase" against the number of users).  :class:`SeriesPoint` keeps
+the per-x aggregate (mean over repetitions plus dispersion), so reports can
+show confidence alongside the reproduced shape.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Sequence, Union
+
+import numpy as np
+
+from repro.core.exceptions import ConfigurationError
+
+__all__ = ["SeriesPoint", "Series", "ExperimentResult", "aggregate"]
+
+
+def aggregate(x: float, samples: Sequence[float]) -> "SeriesPoint":
+    """Build a point from raw per-repetition samples."""
+    if len(samples) == 0:
+        raise ConfigurationError("cannot aggregate zero samples")
+    arr = np.asarray(samples, dtype=np.float64)
+    std = float(arr.std(ddof=1)) if arr.size > 1 else 0.0
+    return SeriesPoint(x=float(x), mean=float(arr.mean()), std=std, n=int(arr.size))
+
+
+@dataclass(frozen=True)
+class SeriesPoint:
+    """One aggregated measurement at a given x."""
+
+    x: float
+    mean: float
+    std: float = 0.0
+    n: int = 1
+
+    @property
+    def stderr(self) -> float:
+        """Standard error of the mean."""
+        return self.std / math.sqrt(self.n) if self.n > 0 else 0.0
+
+
+@dataclass
+class Series:
+    """A named line of an experiment figure."""
+
+    name: str
+    points: List[SeriesPoint] = field(default_factory=list)
+
+    def add(self, x: float, samples: Sequence[float]) -> None:
+        self.points.append(aggregate(x, samples))
+
+    @property
+    def xs(self) -> List[float]:
+        return [p.x for p in self.points]
+
+    @property
+    def means(self) -> List[float]:
+        return [p.mean for p in self.points]
+
+    def value_at(self, x: float) -> float:
+        """Mean at a given x; raises when the x was not measured."""
+        for p in self.points:
+            if p.x == x:
+                return p.mean
+        raise ConfigurationError(f"series {self.name!r} has no point at x={x}")
+
+    def is_monotone(self, direction: str, *, tolerance: float = 0.0) -> bool:
+        """Is the series non-increasing/non-decreasing up to ``tolerance``?
+
+        ``tolerance`` is an absolute slack per step, letting noisy
+        simulation series pass a shape check without being strictly sorted.
+        """
+        if direction not in ("increasing", "decreasing"):
+            raise ConfigurationError(f"bad direction {direction!r}")
+        means = self.means
+        if direction == "increasing":
+            return all(b >= a - tolerance for a, b in zip(means, means[1:]))
+        return all(b <= a + tolerance for a, b in zip(means, means[1:]))
+
+    def endpoint_trend(self) -> float:
+        """``last mean − first mean`` — a robust overall-direction signal."""
+        if not self.points:
+            raise ConfigurationError(f"series {self.name!r} is empty")
+        return self.means[-1] - self.means[0]
+
+
+@dataclass
+class ExperimentResult:
+    """All series of one reproduced figure, plus metadata."""
+
+    experiment_id: str
+    title: str
+    x_label: str
+    y_label: str
+    series: List[Series] = field(default_factory=list)
+    config: Dict[str, Any] = field(default_factory=dict)
+
+    def get(self, name: str) -> Series:
+        for s in self.series:
+            if s.name == name:
+                return s
+        raise ConfigurationError(
+            f"experiment {self.experiment_id} has no series {name!r}; "
+            f"available: {[s.name for s in self.series]}"
+        )
+
+    def new_series(self, name: str) -> Series:
+        s = Series(name=name)
+        self.series.append(s)
+        return s
+
+    # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "x_label": self.x_label,
+            "y_label": self.y_label,
+            "config": self.config,
+            "series": [
+                {
+                    "name": s.name,
+                    "points": [
+                        {"x": p.x, "mean": p.mean, "std": p.std, "n": p.n}
+                        for p in s.points
+                    ],
+                }
+                for s in self.series
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ExperimentResult":
+        result = cls(
+            experiment_id=payload["experiment_id"],
+            title=payload["title"],
+            x_label=payload["x_label"],
+            y_label=payload["y_label"],
+            config=dict(payload.get("config", {})),
+        )
+        for s in payload.get("series", []):
+            series = result.new_series(s["name"])
+            for p in s["points"]:
+                series.points.append(
+                    SeriesPoint(x=p["x"], mean=p["mean"], std=p["std"], n=p["n"])
+                )
+        return result
+
+    def save(self, path: Union[str, Path]) -> None:
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2))
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "ExperimentResult":
+        return cls.from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,84 @@
+"""Repetition runner: execute a mechanism on (re)generated scenarios.
+
+The paper averages every data point over 1000 repetitions with fresh
+workloads.  :func:`run_repetitions` reproduces that protocol: for each
+repetition it builds a scenario from a factory (fresh population, graph and
+tree), runs the mechanism on the truthful ask profile, and extracts the
+requested per-run measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Mapping
+
+import numpy as np
+
+from repro.core.exceptions import ConfigurationError
+from repro.core.mechanism import Mechanism
+from repro.core.outcome import MechanismOutcome
+from repro.core.rng import SeedLike, spawn
+from repro.simulation import metrics as metrics_mod
+from repro.workloads.scenarios import Scenario
+
+__all__ = ["RunMeasurement", "run_repetitions"]
+
+ScenarioFactory = Callable[[np.random.Generator], Scenario]
+
+
+@dataclass(frozen=True)
+class RunMeasurement:
+    """Per-repetition measurements of one mechanism run."""
+
+    avg_utility: float
+    avg_auction_utility: float
+    total_payment: float
+    total_auction_payment: float
+    running_time: float
+    auction_running_time: float
+    completed: bool
+
+    @staticmethod
+    def from_outcome(
+        outcome: MechanismOutcome, costs: Mapping[int, float], num_users: int
+    ) -> "RunMeasurement":
+        return RunMeasurement(
+            avg_utility=metrics_mod.average_utility(outcome, costs, num_users),
+            avg_auction_utility=metrics_mod.average_auction_utility(
+                outcome, costs, num_users
+            ),
+            total_payment=metrics_mod.total_payment(outcome),
+            total_auction_payment=metrics_mod.total_auction_payment(outcome),
+            running_time=metrics_mod.running_time(outcome),
+            auction_running_time=metrics_mod.auction_running_time(outcome),
+            completed=outcome.completed,
+        )
+
+
+def run_repetitions(
+    mechanism: Mechanism,
+    scenario_factory: ScenarioFactory,
+    *,
+    reps: int,
+    rng: SeedLike = None,
+) -> List[RunMeasurement]:
+    """Run ``reps`` independent repetitions and collect measurements.
+
+    Each repetition receives two independent RNG streams spawned from
+    ``rng``: one for scenario generation, one for the mechanism's own coin
+    flips — so enlarging ``reps`` never perturbs earlier repetitions.
+    """
+    if reps < 1:
+        raise ConfigurationError(f"reps must be >= 1, got {reps}")
+    seeds = spawn(rng, 2 * reps)
+    measurements: List[RunMeasurement] = []
+    for r in range(reps):
+        scenario = scenario_factory(seeds[2 * r])
+        asks = scenario.truthful_asks()
+        outcome = mechanism.run(scenario.job, asks, scenario.tree, seeds[2 * r + 1])
+        measurements.append(
+            RunMeasurement.from_outcome(
+                outcome, scenario.costs(), scenario.num_users
+            )
+        )
+    return measurements

@@ -1,0 +1,26 @@
+"""Social-network substrate: directed graphs and synthetic generators."""
+
+from repro.socialnet.generators import (
+    configuration_model,
+    forest_fire,
+    preferential_attachment,
+    random_graph,
+    twitter_like,
+    watts_strogatz,
+)
+from repro.socialnet.graph import GraphStats, SocialGraph
+from repro.socialnet.io import load_edges, load_snap_edges, save_edges
+
+__all__ = [
+    "SocialGraph",
+    "GraphStats",
+    "load_snap_edges",
+    "save_edges",
+    "load_edges",
+    "preferential_attachment",
+    "watts_strogatz",
+    "random_graph",
+    "forest_fire",
+    "configuration_model",
+    "twitter_like",
+]

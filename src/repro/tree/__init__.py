@@ -1,0 +1,48 @@
+"""Incentive-tree substrate: structure, construction, growth, persistence."""
+
+from repro.tree.builder import (
+    build_spanning_forest,
+    chain_tree,
+    random_tree,
+    star_tree,
+)
+from repro.tree.growth import capacity_threshold, grow_tree, required_supply
+from repro.tree.incentive_tree import ROOT, IncentiveTree
+from repro.tree.metrics import (
+    TreeMetrics,
+    compute_metrics,
+    depth_histogram,
+    referral_weight,
+)
+from repro.tree.dynamics import SolicitationResult, simulate_solicitation
+from repro.tree.visualize import render_subtree, render_tree
+from repro.tree.serialization import (
+    load_tree,
+    save_tree,
+    tree_from_dict,
+    tree_to_dict,
+)
+
+__all__ = [
+    "ROOT",
+    "IncentiveTree",
+    "build_spanning_forest",
+    "random_tree",
+    "chain_tree",
+    "star_tree",
+    "grow_tree",
+    "capacity_threshold",
+    "required_supply",
+    "TreeMetrics",
+    "compute_metrics",
+    "depth_histogram",
+    "referral_weight",
+    "render_tree",
+    "render_subtree",
+    "SolicitationResult",
+    "simulate_solicitation",
+    "tree_to_dict",
+    "tree_from_dict",
+    "save_tree",
+    "load_tree",
+]

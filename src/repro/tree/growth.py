@@ -1,0 +1,102 @@
+"""Solicitation growth policies — choosing the threshold ``N``.
+
+Section 3-A stops the tree at a threshold ``N`` and Remark 6.1 tells us how
+to pick it: CRA may need to select up to ``q + m_i <= 2·m_i`` potential
+winners per type, so solicitation should continue until, for each type
+``τ_i``, the joined users can jointly place at least ``2·m_i`` unit asks.
+
+This module provides that policy as a stop-condition factory for
+:func:`repro.tree.builder.build_spanning_forest`, plus a convenience
+front-end :func:`grow_tree` combining graph, population and job.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Sequence
+
+from repro.core.bounds import min_unit_asks
+from repro.core.exceptions import TreeError
+from repro.core.types import Job, Population
+from repro.socialnet.graph import SocialGraph
+from repro.tree.builder import build_spanning_forest
+from repro.tree.incentive_tree import IncentiveTree
+
+__all__ = ["capacity_threshold", "grow_tree", "required_supply"]
+
+
+def required_supply(job: Job) -> Dict[int, int]:
+    """Remark 6.1 per-type unit-ask requirement: ``{τ_i: 2·m_i}``."""
+    return {tau: min_unit_asks(job.tasks_of(tau)) for tau in job.types()}
+
+
+def capacity_threshold(
+    population: Population, job: Job
+) -> Callable[[IncentiveTree, int], bool]:
+    """Stop-condition: end solicitation once every type is supplied.
+
+    Returns a predicate suitable for ``build_spanning_forest``'s
+    ``stop_condition``.  It tracks, incrementally, the total capacity that
+    joined users offer per type and fires once each type ``τ_i`` reaches
+    ``2·m_i`` (types with ``m_i = 0`` need nothing).
+    """
+    needed = required_supply(job)
+    have = {tau: 0 for tau in needed}
+    unmet = {tau for tau, req in needed.items() if req > 0}
+
+    def condition(tree: IncentiveTree, joined: int) -> bool:
+        if joined not in population:
+            # Nodes outside the population contribute no capacity (e.g.
+            # a platform-testing stub id); they never satisfy the rule.
+            return not unmet
+        user = population[joined]
+        tau = user.task_type
+        if tau in unmet:
+            have[tau] += user.capacity
+            if have[tau] >= needed[tau]:
+                unmet.discard(tau)
+        return not unmet
+
+    return condition
+
+
+def grow_tree(
+    graph: SocialGraph,
+    population: Population,
+    job: Job,
+    *,
+    seeds: Optional[Sequence[int]] = None,
+    limit: Optional[int] = None,
+    enforce_supply: bool = False,
+) -> IncentiveTree:
+    """Grow the incentive tree until the Remark 6.1 supply rule is met.
+
+    Combines :func:`build_spanning_forest` with :func:`capacity_threshold`.
+    When the social graph runs out of users before the rule is satisfied,
+    the tree simply contains everyone (the platform cannot conjure users);
+    with ``enforce_supply=True`` this situation raises instead.
+    """
+    if graph.num_nodes < len(population):
+        raise TreeError(
+            f"graph has {graph.num_nodes} nodes but the population has "
+            f"{len(population)} users"
+        )
+    tree = build_spanning_forest(
+        graph,
+        seeds=seeds,
+        limit=limit,
+        stop_condition=capacity_threshold(population, job),
+    )
+    if enforce_supply:
+        supply = {tau: 0 for tau in job.types()}
+        for node in tree.nodes():
+            if node in population:
+                user = population[node]
+                if user.task_type < job.num_types:
+                    supply[user.task_type] += user.capacity
+        for tau, req in required_supply(job).items():
+            if supply[tau] < req:
+                raise TreeError(
+                    f"solicitation exhausted the graph with type {tau} "
+                    f"supplied {supply[tau]} < required {req} unit asks"
+                )
+    return tree

@@ -1,0 +1,259 @@
+"""The incentive tree ``T`` (paper Section 3-A).
+
+The tree records the solicitation process: the platform is the root, users
+who joined spontaneously are children of the root, and there is an edge
+``P_i → P_j`` when ``P_j`` joined by the solicitation of ``P_i``.  The
+payment determination phase of RIT consumes two structural quantities:
+
+* ``r_j`` — the *depth* of ``P_j`` (distance to the platform root), and
+* ``T_j`` — the set of *descendants* of ``P_j``.
+
+The tree is mutable while being grown (nodes are attached one by one during
+the solicitation process) and exposes cheap, cached views once frozen.
+Sybil attacks are *structural rewrites* of the tree; they are implemented in
+:mod:`repro.attacks.sybil` using the primitives here (:meth:`attach`,
+:meth:`reattach_children`).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, Iterator, List, Sequence, Set, Tuple
+
+from repro.core.exceptions import TreeError
+
+__all__ = ["ROOT", "IncentiveTree"]
+
+#: Sentinel node id for the platform root.  User ids are non-negative, so
+#: ``-1`` can never collide with a real participant.
+ROOT: int = -1
+
+
+class IncentiveTree:
+    """Rooted tree over participant ids, root = the platform (:data:`ROOT`).
+
+    Node ids are arbitrary non-negative integers (user ids, and identity ids
+    for sybil scenarios).  The root is implicit and always present.
+    """
+
+    def __init__(self) -> None:
+        self._parent: Dict[int, int] = {}
+        self._children: Dict[int, List[int]] = {ROOT: []}
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+
+    def attach(self, node: int, parent: int = ROOT) -> None:
+        """Add ``node`` as a child of ``parent``.
+
+        ``parent`` must already be in the tree (or be the root); ``node``
+        must be new.  Children order is insertion order — it matters only
+        for deterministic iteration, never for payments.
+        """
+        if node < 0:
+            raise TreeError(f"node ids must be >= 0, got {node}")
+        if node in self._parent:
+            raise TreeError(f"node {node} is already in the tree")
+        if parent != ROOT and parent not in self._parent:
+            raise TreeError(f"parent {parent} is not in the tree")
+        self._parent[node] = parent
+        self._children[node] = []
+        self._children[parent].append(node)
+
+    def reattach(self, node: int, new_parent: int) -> None:
+        """Move ``node`` (with its whole subtree) under ``new_parent``.
+
+        Used by the attack harness to hang a victim's original children
+        under one of its sybil identities.  Cycles are rejected.
+        """
+        if node not in self._parent:
+            raise TreeError(f"node {node} is not in the tree")
+        if new_parent != ROOT and new_parent not in self._parent:
+            raise TreeError(f"new parent {new_parent} is not in the tree")
+        if node == new_parent or (
+            new_parent != ROOT and self.is_descendant(new_parent, of=node)
+        ):
+            raise TreeError(
+                f"reattaching {node} under {new_parent} would create a cycle"
+            )
+        old = self._parent[node]
+        self._children[old].remove(node)
+        self._parent[node] = new_parent
+        self._children[new_parent].append(node)
+
+    def reattach_children(self, node: int, new_parent: int) -> None:
+        """Move every current child of ``node`` under ``new_parent``."""
+        for child in list(self.children(node)):
+            self.reattach(child, new_parent)
+
+    def remove_leaf(self, node: int) -> None:
+        """Remove a node that has no children."""
+        if node not in self._parent:
+            raise TreeError(f"node {node} is not in the tree")
+        if self._children[node]:
+            raise TreeError(f"node {node} is not a leaf")
+        parent = self._parent.pop(node)
+        self._children[parent].remove(node)
+        del self._children[node]
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    def __contains__(self, node: int) -> bool:
+        return node in self._parent or node == ROOT
+
+    def __len__(self) -> int:
+        """Number of participant nodes (root excluded)."""
+        return len(self._parent)
+
+    def parent(self, node: int) -> int:
+        """The solicitor of ``node`` (:data:`ROOT` for spontaneous joiners)."""
+        try:
+            return self._parent[node]
+        except KeyError:
+            raise TreeError(f"node {node} is not in the tree") from None
+
+    def children(self, node: int) -> Sequence[int]:
+        """Direct solicitees of ``node`` (read-only view)."""
+        if node != ROOT and node not in self._parent:
+            raise TreeError(f"node {node} is not in the tree")
+        return tuple(self._children[node])
+
+    def nodes(self) -> Iterator[int]:
+        """All participant ids, in insertion order."""
+        return iter(self._parent)
+
+    def depth(self, node: int) -> int:
+        """``r_j`` — edge distance from ``node`` to the platform root."""
+        if node == ROOT:
+            return 0
+        d = 0
+        while node != ROOT:
+            node = self.parent(node)
+            d += 1
+        return d
+
+    def depths(self) -> Dict[int, int]:
+        """All depths in one BFS pass — O(N)."""
+        out: Dict[int, int] = {}
+        queue: deque[Tuple[int, int]] = deque((c, 1) for c in self._children[ROOT])
+        while queue:
+            node, d = queue.popleft()
+            out[node] = d
+            queue.extend((c, d + 1) for c in self._children[node])
+        return out
+
+    def ancestors(self, node: int) -> Iterator[int]:
+        """Proper ancestors of ``node``, nearest first, root excluded."""
+        node = self.parent(node)
+        while node != ROOT:
+            yield node
+            node = self._parent[node]
+
+    def descendants(self, node: int) -> Set[int]:
+        """``T_j`` — the set of all descendants of ``node`` (node excluded)."""
+        out: Set[int] = set()
+        stack = list(self.children(node))
+        while stack:
+            cur = stack.pop()
+            out.add(cur)
+            stack.extend(self._children[cur])
+        return out
+
+    def subtree_size(self, node: int) -> int:
+        """``|T_j| + 1`` — nodes in the subtree rooted at ``node``."""
+        return len(self.descendants(node)) + (0 if node == ROOT else 1)
+
+    def is_descendant(self, node: int, *, of: int) -> bool:
+        """True when ``node`` lies strictly below ``of``."""
+        if node == of:
+            return False
+        if of == ROOT:
+            return node in self._parent
+        cur = self._parent.get(node)
+        while cur is not None and cur != ROOT:
+            if cur == of:
+                return True
+            cur = self._parent.get(cur)
+        return False
+
+    def bfs_order(self) -> List[int]:
+        """Participant ids in breadth-first (top-down) order."""
+        order: List[int] = []
+        queue: deque[int] = deque(self._children[ROOT])
+        while queue:
+            node = queue.popleft()
+            order.append(node)
+            queue.extend(self._children[node])
+        return order
+
+    def max_depth(self) -> int:
+        """Height of the tree (0 when empty)."""
+        depths = self.depths()
+        return max(depths.values()) if depths else 0
+
+    def validate(self) -> None:
+        """Check internal consistency; raises :class:`TreeError` on damage."""
+        seen = 0
+        for parent, kids in self._children.items():
+            for kid in kids:
+                if self._parent.get(kid) != parent:
+                    raise TreeError(f"child link {parent}->{kid} has no back-link")
+                seen += 1
+        if seen != len(self._parent):
+            raise TreeError("parent/children maps disagree on node count")
+        if len(self.bfs_order()) != len(self._parent):
+            raise TreeError("tree contains unreachable nodes (cycle?)")
+
+    # ------------------------------------------------------------------ #
+    # Serialization / conversion
+    # ------------------------------------------------------------------ #
+
+    def to_edges(self) -> List[Tuple[int, int]]:
+        """``(parent, child)`` pairs, root edges included, insertion order."""
+        return [(p, c) for c, p in self._parent.items()][::1]
+
+    @classmethod
+    def from_edges(cls, edges: Iterable[Tuple[int, int]]) -> "IncentiveTree":
+        """Build a tree from ``(parent, child)`` pairs.
+
+        Edges may arrive in any order; children whose parent has not been
+        seen yet are buffered.
+        """
+        tree = cls()
+        pending: Dict[int, List[Tuple[int, int]]] = {}
+        ready: deque[Tuple[int, int]] = deque(edges)
+        while ready:
+            parent, child = ready.popleft()
+            if parent == ROOT or parent in tree:
+                tree.attach(child, parent)
+                for edge in pending.pop(child, []):
+                    ready.append(edge)
+            else:
+                # Buffer until the parent itself is attached; every edge is
+                # buffered at most once, so the loop always terminates.
+                pending.setdefault(parent, []).append((parent, child))
+        if pending:
+            raise TreeError("edge list contains orphaned subtrees")
+        return tree
+
+    def to_parent_map(self) -> Dict[int, int]:
+        """``{child: parent}`` mapping (copy)."""
+        return dict(self._parent)
+
+    @classmethod
+    def from_parent_map(cls, parents: Dict[int, int]) -> "IncentiveTree":
+        """Build a tree from a ``{child: parent}`` mapping."""
+        return cls.from_edges((p, c) for c, p in parents.items())
+
+    def copy(self) -> "IncentiveTree":
+        """Deep structural copy (children order preserved)."""
+        clone = IncentiveTree()
+        clone._parent = dict(self._parent)
+        clone._children = {k: list(v) for k, v in self._children.items()}
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"IncentiveTree(nodes={len(self)}, height={self.max_depth()})"

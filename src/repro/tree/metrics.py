@@ -1,0 +1,89 @@
+"""Structural metrics of incentive trees.
+
+The solicitation tree's shape determines who earns referral income and
+how much the platform spends on it (the ``(1/2)^r`` decay makes depth the
+controlling quantity).  These metrics power the tree-shape ablation, the
+examples' reporting, and dataset-substitution validation (comparing the
+synthetic twitter-like forests against an original, when available).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.tree.incentive_tree import ROOT, IncentiveTree
+
+__all__ = ["TreeMetrics", "compute_metrics", "depth_histogram", "referral_weight"]
+
+
+@dataclass(frozen=True)
+class TreeMetrics:
+    """Summary statistics of one incentive tree."""
+
+    num_nodes: int
+    height: int
+    mean_depth: float
+    num_leaves: int
+    num_roots: int               # children of the platform
+    max_branching: int
+    mean_branching: float        # over internal nodes
+    referral_weight_total: float # Σ_j (r_j - 1) (1/2)^{r_j} over nodes
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"nodes={self.num_nodes} height={self.height} "
+            f"mean_depth={self.mean_depth:.2f} leaves={self.num_leaves} "
+            f"roots={self.num_roots} max_branch={self.max_branching}"
+        )
+
+
+def depth_histogram(tree: IncentiveTree) -> Dict[int, int]:
+    """``{depth: node count}`` over all participants."""
+    hist: Dict[int, int] = {}
+    for depth in tree.depths().values():
+        hist[depth] = hist.get(depth, 0) + 1
+    return hist
+
+
+def referral_weight(tree: IncentiveTree, node: int) -> float:
+    """Upper-bound weight of ``node``'s own contribution to referrals.
+
+    A node at depth ``r`` has ``r − 1`` non-root ancestors, each earning
+    at most ``(1/2)^r`` of its auction payment — so its contribution to
+    the platform's referral outlay is at most ``(r − 1)·(1/2)^r`` times
+    its payment (§7-C's accounting).
+    """
+    r = tree.depth(node)
+    if r <= 1:
+        return 0.0
+    return (r - 1) * (0.5 ** r)
+
+
+def compute_metrics(tree: IncentiveTree) -> TreeMetrics:
+    """Compute all :class:`TreeMetrics` in one pass."""
+    if len(tree) == 0:
+        return TreeMetrics(
+            num_nodes=0, height=0, mean_depth=0.0, num_leaves=0,
+            num_roots=0, max_branching=0, mean_branching=0.0,
+            referral_weight_total=0.0,
+        )
+    depths = tree.depths()
+    num_nodes = len(depths)
+    branchings = [len(tree.children(node)) for node in tree.nodes()]
+    internal = [b for b in branchings if b > 0]
+    weight_total = sum(
+        (r - 1) * (0.5 ** r) for r in depths.values() if r > 1
+    )
+    return TreeMetrics(
+        num_nodes=num_nodes,
+        height=max(depths.values()),
+        mean_depth=float(np.mean(list(depths.values()))),
+        num_leaves=sum(1 for b in branchings if b == 0),
+        num_roots=len(tree.children(ROOT)),
+        max_branching=max(branchings),
+        mean_branching=float(np.mean(internal)) if internal else 0.0,
+        referral_weight_total=weight_total,
+    )

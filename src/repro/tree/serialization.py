@@ -1,0 +1,62 @@
+"""Incentive-tree (de)serialization.
+
+Plain-dict and JSON round-trips, used by the CLI to persist grown trees so
+expensive social-graph construction can be amortized across experiments.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+from repro.core.exceptions import TreeError
+from repro.tree.incentive_tree import IncentiveTree
+
+__all__ = ["tree_to_dict", "tree_from_dict", "save_tree", "load_tree"]
+
+_FORMAT_VERSION = 1
+
+
+def tree_to_dict(tree: IncentiveTree) -> Dict[str, Any]:
+    """Serialize to a JSON-safe dict: ``{"version", "edges": [[p, c], …]}``."""
+    return {
+        "version": _FORMAT_VERSION,
+        "edges": [[p, c] for p, c in tree.to_edges()],
+    }
+
+
+def tree_from_dict(payload: Dict[str, Any]) -> IncentiveTree:
+    """Inverse of :func:`tree_to_dict`."""
+    version = payload.get("version")
+    if version != _FORMAT_VERSION:
+        raise TreeError(f"unsupported tree format version: {version!r}")
+    edges = payload.get("edges")
+    if not isinstance(edges, list):
+        raise TreeError("payload has no 'edges' list")
+    pairs: List[tuple] = []
+    for item in edges:
+        if (
+            not isinstance(item, (list, tuple))
+            or len(item) != 2
+            or not all(isinstance(x, int) for x in item)
+        ):
+            raise TreeError(f"malformed edge entry: {item!r}")
+        pairs.append((item[0], item[1]))
+    return IncentiveTree.from_edges(pairs)
+
+
+def save_tree(tree: IncentiveTree, path: Union[str, Path]) -> None:
+    """Write the tree as JSON to ``path``."""
+    Path(path).write_text(json.dumps(tree_to_dict(tree)))
+
+
+def load_tree(path: Union[str, Path]) -> IncentiveTree:
+    """Read a tree previously written by :func:`save_tree`."""
+    try:
+        payload = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise TreeError(f"{path} is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise TreeError(f"{path} does not contain a tree object")
+    return tree_from_dict(payload)

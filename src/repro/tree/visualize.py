@@ -1,0 +1,106 @@
+"""ASCII rendering of incentive trees.
+
+Small trees (examples, debugging, teaching the payment rule) benefit from
+a visual: :func:`render_tree` draws the solicitation structure with
+per-node annotations (task type, payments, …), and
+:func:`render_subtree` restricts the drawing to one solicitor's subtree.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.core.exceptions import TreeError
+from repro.tree.incentive_tree import ROOT, IncentiveTree
+
+__all__ = ["render_tree", "render_subtree"]
+
+Annotator = Callable[[int], str]
+
+
+def _default_annotator(node: int) -> str:
+    return f"P{node}"
+
+
+def _render_from(
+    tree: IncentiveTree,
+    node: int,
+    annotate: Annotator,
+    prefix: str,
+    is_last: bool,
+    lines: List[str],
+    remaining: List[int],
+) -> None:
+    connector = "└─ " if is_last else "├─ "
+    lines.append(prefix + connector + annotate(node))
+    if remaining[0] <= 0:
+        return
+    children = list(tree.children(node))
+    child_prefix = prefix + ("   " if is_last else "│  ")
+    for i, child in enumerate(children):
+        remaining[0] -= 1
+        if remaining[0] <= 0:
+            lines.append(child_prefix + "└─ …")
+            return
+        _render_from(
+            tree, child, annotate, child_prefix, i == len(children) - 1,
+            lines, remaining,
+        )
+
+
+def render_tree(
+    tree: IncentiveTree,
+    *,
+    annotate: Optional[Annotator] = None,
+    max_nodes: int = 200,
+) -> str:
+    """Draw the whole tree under a ``platform`` root line.
+
+    Parameters
+    ----------
+    annotate:
+        Per-node label function (default: ``P<id>``).  Use it to attach
+        payments or types: ``lambda n: f"P{n} τ{types[n]} p={pay[n]:.2f}"``.
+    max_nodes:
+        Truncate the drawing after this many nodes (an ``…`` marks cuts).
+    """
+    if max_nodes < 1:
+        raise TreeError(f"max_nodes must be >= 1, got {max_nodes}")
+    annotate = annotate or _default_annotator
+    lines = ["platform"]
+    roots = list(tree.children(ROOT))
+    remaining = [max_nodes]
+    for i, node in enumerate(roots):
+        remaining[0] -= 1
+        if remaining[0] <= 0:
+            lines.append("└─ …")
+            break
+        _render_from(
+            tree, node, annotate, "", i == len(roots) - 1, lines, remaining
+        )
+    return "\n".join(lines)
+
+
+def render_subtree(
+    tree: IncentiveTree,
+    node: int,
+    *,
+    annotate: Optional[Annotator] = None,
+    max_nodes: int = 200,
+) -> str:
+    """Draw the subtree rooted at ``node``."""
+    if node not in tree:
+        raise TreeError(f"node {node} is not in the tree")
+    annotate = annotate or _default_annotator
+    lines = [annotate(node)]
+    children = list(tree.children(node))
+    remaining = [max_nodes]
+    for i, child in enumerate(children):
+        remaining[0] -= 1
+        if remaining[0] <= 0:
+            lines.append("└─ …")
+            break
+        _render_from(
+            tree, child, annotate, "", i == len(children) - 1, lines, remaining
+        )
+    return "\n".join(lines)

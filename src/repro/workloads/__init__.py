@@ -1,0 +1,34 @@
+"""Workload generation: user populations, jobs, geography, scenarios."""
+
+from repro.workloads.geo import (
+    Region,
+    generate_geo_population,
+    generate_regions,
+    job_from_regions,
+)
+from repro.workloads.jobs import random_job, uniform_job
+from repro.workloads.scenarios import (
+    Scenario,
+    environmental_monitoring,
+    healthcare,
+    paper_scenario,
+    spectrum_sensing,
+)
+from repro.workloads.users import PAPER_USERS, UserDistribution, generate_population
+
+__all__ = [
+    "Region",
+    "generate_regions",
+    "generate_geo_population",
+    "job_from_regions",
+    "UserDistribution",
+    "PAPER_USERS",
+    "generate_population",
+    "uniform_job",
+    "random_job",
+    "Scenario",
+    "paper_scenario",
+    "spectrum_sensing",
+    "environmental_monitoring",
+    "healthcare",
+]

@@ -1,0 +1,36 @@
+"""Job generators for the paper's evaluation setups.
+
+* Figs. 6(a)/7(a)/8(a): ``m_i = 5000`` for each of 10 types;
+* Figs. 6(b)/7(b)/8(b): ``m_i`` swept 1000 → 3000;
+* Fig. 9: ``m_i ~ U(100, 500]`` per type.
+"""
+
+from __future__ import annotations
+
+
+from repro.core.exceptions import ConfigurationError
+from repro.core.rng import SeedLike, as_generator
+from repro.core.types import Job
+
+__all__ = ["uniform_job", "random_job"]
+
+
+def uniform_job(num_types: int = 10, tasks_per_type: int = 5000) -> Job:
+    """``m_i = tasks_per_type`` for every type (Figs. 6-8 setup)."""
+    return Job.uniform(num_types, tasks_per_type)
+
+
+def random_job(
+    num_types: int = 10,
+    low: int = 100,
+    high: int = 500,
+    rng: SeedLike = None,
+) -> Job:
+    """``m_i`` uniform integer in ``(low, high]`` per type (Fig. 9 setup)."""
+    if num_types <= 0:
+        raise ConfigurationError(f"num_types must be positive, got {num_types}")
+    if not 0 <= low < high:
+        raise ConfigurationError(f"need 0 <= low < high, got low={low}, high={high}")
+    gen = as_generator(rng)
+    counts = gen.integers(low + 1, high + 1, size=num_types)
+    return Job(int(c) for c in counts)

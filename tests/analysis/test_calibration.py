@@ -1,0 +1,74 @@
+"""Tests for the dataset-substitution calibration metrics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.calibration import (
+    CalibrationReport,
+    calibration_report,
+    degree_gini,
+    hill_tail_exponent,
+)
+from repro.core.exceptions import ConfigurationError
+from repro.socialnet.generators import random_graph, twitter_like
+
+
+class TestHillEstimator:
+    def test_pareto_sample_recovers_exponent(self):
+        """Hill on Pareto(α) data should estimate ≈ α."""
+        gen = np.random.default_rng(0)
+        alpha = 2.0
+        samples = (gen.pareto(alpha, size=20000) + 1.0) * 5
+        estimate = hill_tail_exponent(samples.astype(int), top_fraction=0.05)
+        assert estimate == pytest.approx(alpha, rel=0.25)
+
+    def test_thin_tail_gives_large_exponent(self):
+        gen = np.random.default_rng(1)
+        samples = gen.poisson(20, size=5000)
+        estimate = hill_tail_exponent(samples)
+        assert estimate > 4.0
+
+    def test_degenerate_tail_is_inf(self):
+        assert hill_tail_exponent([7] * 100) == float("inf")
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            hill_tail_exponent([1, 2, 3])  # too few
+        with pytest.raises(ConfigurationError):
+            hill_tail_exponent([1] * 100, top_fraction=0.0)
+
+
+class TestGini:
+    def test_equal_degrees_zero(self):
+        assert degree_gini([5] * 50) == pytest.approx(0.0, abs=1e-9)
+
+    def test_single_hub_near_one(self):
+        degrees = [0] * 99 + [1000]
+        assert degree_gini(degrees) > 0.95
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            degree_gini([])
+
+    def test_all_zero(self):
+        assert degree_gini([0, 0, 0]) == 0.0
+
+
+class TestCalibrationReport:
+    def test_twitter_like_is_heavy_tailed(self):
+        graph = twitter_like(3000, rng=2)
+        report = calibration_report(graph)
+        assert report.heavy_tailed, str(report)
+        assert report.mean_degree_ratio == pytest.approx(1.0, abs=0.4)
+
+    def test_erdos_renyi_is_not(self):
+        graph = random_graph(3000, 3000 * 22, rng=3)
+        report = calibration_report(graph)
+        assert not report.heavy_tailed, str(report)
+
+    def test_report_fields(self):
+        graph = twitter_like(1000, rng=4)
+        report = calibration_report(graph)
+        assert report.num_nodes == 1000
+        assert report.max_out_degree >= report.mean_out_degree
+        assert 0.0 <= report.gini <= 1.0

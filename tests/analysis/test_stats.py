@@ -1,0 +1,129 @@
+"""Tests for the statistical machinery."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.stats import (
+    GainSummary,
+    bootstrap_ci,
+    paired_permutation_test,
+    summarize_gain,
+)
+from repro.core.exceptions import ConfigurationError
+
+
+class TestBootstrapCI:
+    def test_contains_mean_for_tight_data(self):
+        low, high = bootstrap_ci([5.0] * 20, rng=0)
+        assert low == pytest.approx(5.0)
+        assert high == pytest.approx(5.0)
+
+    def test_interval_orders(self):
+        gen = np.random.default_rng(1)
+        samples = gen.normal(10, 2, size=50)
+        low, high = bootstrap_ci(samples, rng=0)
+        assert low <= samples.mean() <= high
+
+    def test_single_sample_degenerate(self):
+        assert bootstrap_ci([3.0], rng=0) == (3.0, 3.0)
+
+    def test_coverage_monte_carlo(self):
+        """~95% of intervals should cover the true mean."""
+        gen = np.random.default_rng(2)
+        covered = 0
+        for trial in range(100):
+            samples = gen.normal(0.0, 1.0, size=30)
+            low, high = bootstrap_ci(samples, rng=trial)
+            covered += low <= 0.0 <= high
+        assert covered >= 85
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            bootstrap_ci([])
+        with pytest.raises(ConfigurationError):
+            bootstrap_ci([1.0], confidence=1.5)
+        with pytest.raises(ConfigurationError):
+            bootstrap_ci([1.0], num_resamples=0)
+
+    def test_determinism(self):
+        samples = list(np.random.default_rng(3).normal(size=40))
+        assert bootstrap_ci(samples, rng=7) == bootstrap_ci(samples, rng=7)
+
+
+class TestPairedPermutationTest:
+    def test_clear_positive_effect(self):
+        a = [10.0 + i * 0.1 for i in range(12)]
+        b = [1.0 + i * 0.1 for i in range(12)]
+        assert paired_permutation_test(a, b, alternative="greater") < 0.01
+
+    def test_no_effect_is_insignificant(self):
+        base = np.arange(14, dtype=float)
+        # Perfectly balanced paired differences (+1/-1 alternating):
+        # the observed mean is 0, the weakest possible evidence.
+        other = base + np.tile([1.0, -1.0], 7)
+        p = paired_permutation_test(base, other, alternative="two-sided")
+        assert p > 0.5
+
+    def test_less_alternative(self):
+        a = [1.0] * 10
+        b = [5.0] * 10
+        assert paired_permutation_test(a, b, alternative="less") < 0.01
+        assert paired_permutation_test(a, b, alternative="greater") > 0.99
+
+    def test_exact_small_n_matches_hand_count(self):
+        # n=2, diffs (1, 1): null means over sign flips: {1, 0, 0, -1};
+        # observed 1 -> one-sided p = 1/4.
+        p = paired_permutation_test([2.0, 2.0], [1.0, 1.0], alternative="greater")
+        assert p == pytest.approx(0.25)
+
+    def test_large_n_uses_monte_carlo(self):
+        gen = np.random.default_rng(5)
+        a = gen.normal(1.0, 0.1, size=50)
+        b = gen.normal(0.0, 0.1, size=50)
+        p = paired_permutation_test(a, b, rng=0)
+        assert p < 0.01
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            paired_permutation_test([1.0], [1.0, 2.0])
+        with pytest.raises(ConfigurationError):
+            paired_permutation_test([], [])
+        with pytest.raises(ConfigurationError):
+            paired_permutation_test([1.0], [1.0], alternative="sideways")
+
+    @given(
+        diffs=st.lists(
+            st.floats(min_value=-10, max_value=10), min_size=2, max_size=12
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_p_value_in_unit_interval(self, diffs):
+        base = np.zeros(len(diffs))
+        p = paired_permutation_test(np.asarray(diffs), base)
+        assert 0.0 <= p <= 1.0
+
+
+class TestSummarizeGain:
+    def test_significant_gain(self):
+        honest = [1.0] * 15
+        deviant = [3.0 + 0.01 * i for i in range(15)]
+        summary = summarize_gain(honest, deviant, rng=0)
+        assert summary.mean_gain == pytest.approx(2.07, abs=0.01)
+        assert summary.significant
+        assert summary.ci_low <= summary.mean_gain <= summary.ci_high
+
+    def test_no_gain_is_insignificant(self):
+        gen = np.random.default_rng(6)
+        honest = gen.normal(5, 1, size=20)
+        deviant = honest - 0.5  # attack strictly loses
+        summary = summarize_gain(honest, deviant, rng=0)
+        assert not summary.significant
+        assert summary.mean_gain < 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            summarize_gain([], [])
+        with pytest.raises(ConfigurationError):
+            summarize_gain([1.0], [1.0, 2.0])

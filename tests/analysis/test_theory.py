@@ -1,0 +1,52 @@
+"""Tests for the theory-vs-practice helpers."""
+
+import pytest
+
+from repro.analysis.theory import (
+    BoundSummary,
+    budget_table,
+    remark61_examples,
+    summarize_bounds,
+)
+from repro.core.rit import RIT
+from repro.core.types import Job
+
+
+class TestRemark61Anchors:
+    def test_values_match_paper(self):
+        anchors = remark61_examples()
+        assert anchors["kmax10_mi1000"] == pytest.approx(0.98, abs=0.005)
+        assert anchors["k10_denom50"] == pytest.approx(0.59, abs=0.005)
+
+
+class TestSummarizeBounds:
+    def test_per_type_rows(self):
+        mech = RIT(h=0.8, round_budget="lemma")
+        job = Job([5000, 0, 1000])
+        rows = summarize_bounds(mech, job, k_max=20)
+        assert [r.task_type for r in rows] == [0, 2]  # empty type skipped
+        assert rows[0].m_i == 5000
+        # With only 3 types, eta = 0.8^(1/3) is laxer than the paper's
+        # 10-type setup, so the budget is larger than the Fig. 6 value (2).
+        assert rows[0].lemma_budget == 9
+        assert rows[0].effective_budget == 9
+        assert 0 < rows[0].eta < 1
+
+    def test_effective_budget_reflects_policy(self):
+        mech = RIT(h=0.8, round_budget="paper")
+        rows = summarize_bounds(mech, Job([100]), k_max=20)
+        assert rows[0].lemma_budget == 0
+        assert rows[0].effective_budget == 1
+
+
+class TestBudgetTable:
+    def test_rows_align_with_inputs(self):
+        rows = budget_table(0.8, 10, 20, [100, 5000])
+        assert [r[0] for r in rows] == [100, 5000]
+        assert rows[0][2] == 0
+        assert rows[1][2] == 2
+
+    def test_bounds_increase_with_m(self):
+        rows = budget_table(0.8, 10, 10, [100, 1000, 10000])
+        bounds = [r[1] for r in rows]
+        assert bounds == sorted(bounds)

@@ -1,0 +1,117 @@
+"""Tests for the attack evaluation harness."""
+
+import pytest
+
+from repro.attacks.evaluator import (
+    AttackComparison,
+    compare_misreport,
+    compare_sybil_attack,
+)
+from repro.attacks.sybil import SybilAttack
+from repro.baselines.kth_price import KthPriceAuction
+from repro.core.exceptions import AttackError
+from repro.core.types import Ask, Job
+from repro.tree.incentive_tree import ROOT, IncentiveTree
+
+
+def scenario():
+    """Deterministic k-th price scenario: 3 unit bidders, 1 task."""
+    tree = IncentiveTree()
+    for i in (1, 2, 3):
+        tree.attach(i, ROOT)
+    asks = {1: Ask(0, 1, 2.0), 2: Ask(0, 1, 3.0), 3: Ask(0, 1, 5.0)}
+    return Job([1]), asks, tree
+
+
+class TestComparisonContainer:
+    def test_gain_and_profitable(self):
+        c = AttackComparison(1.0, 2.5, (1.0,), (2.5,))
+        assert c.gain == pytest.approx(1.5)
+        assert c.profitable
+
+    def test_unprofitable(self):
+        c = AttackComparison(2.0, 1.0, (2.0,), (1.0,))
+        assert not c.profitable
+
+
+class TestCompareMisreport:
+    def test_kth_price_truthfulness(self):
+        """In the deterministic (q+1)-st price auction, underbidding the
+        clearing price changes nothing; overbidding past it loses the
+        task.  Either way the gain is never positive."""
+        job, asks, tree = scenario()
+        mech = KthPriceAuction()
+        for value in (0.5, 1.0, 2.9, 3.1, 10.0):
+            c = compare_misreport(
+                mech, job, asks, tree, user_id=1, cost=2.0,
+                reported_value=value, reps=2, rng=0,
+            )
+            assert c.gain <= 1e-9
+
+    def test_honest_utility_is_price_minus_cost(self):
+        job, asks, tree = scenario()
+        c = compare_misreport(
+            KthPriceAuction(), job, asks, tree, user_id=1, cost=2.0,
+            reported_value=2.5, reps=1, rng=0,
+        )
+        # winner pays second price 3.0 -> honest utility 1.0.
+        assert c.honest_utility == pytest.approx(1.0)
+
+    def test_reps_validation(self):
+        job, asks, tree = scenario()
+        with pytest.raises(AttackError):
+            compare_misreport(
+                KthPriceAuction(), job, asks, tree, 1, 2.0, 2.5, reps=0
+            )
+
+
+class TestCompareSybilAttack:
+    def test_samples_lengths(self):
+        job, asks, tree = scenario()
+        attack = SybilAttack.chain(1, capacities=(1,), values=(2.0,))
+        c = compare_sybil_attack(
+            KthPriceAuction(), job, asks, tree, attack, cost=2.0,
+            reps=4, rng=1,
+        )
+        assert len(c.honest_samples) == 4
+        assert len(c.deviant_samples) == 4
+
+    def test_trivial_one_identity_split_is_neutral(self):
+        """Splitting into a single identity with the same ask is a no-op
+        for the deterministic auction."""
+        job, asks, tree = scenario()
+        attack = SybilAttack.chain(1, capacities=(1,), values=(2.0,))
+        c = compare_sybil_attack(
+            KthPriceAuction(), job, asks, tree, attack, cost=2.0,
+            reps=2, rng=1,
+        )
+        assert c.gain == pytest.approx(0.0)
+
+    def test_price_raising_attack_detected(self):
+        """The §4-A / Fig. 2 failure on the plain k-th price auction: the
+        victim gives up one task but pushes the clearing price from 3 to
+        5, netting more in total."""
+        tree = IncentiveTree()
+        for i in (1, 2, 3):
+            tree.attach(i, ROOT)
+        asks = {1: Ask(0, 2, 2.0), 2: Ask(0, 1, 3.0), 3: Ask(0, 1, 5.0)}
+        job = Job([2])
+        attack = SybilAttack.chain(1, capacities=(1, 1), values=(2.0, 5.0))
+        c = compare_sybil_attack(
+            KthPriceAuction(), job, asks, tree, attack, cost=2.0,
+            reps=2, rng=1, true_capacity=2,
+        )
+        # honest: two tasks at price 3, cost 2 each -> utility 2;
+        # attack: one task at price 5 -> utility 3.
+        assert c.honest_utility == pytest.approx(2.0)
+        assert c.deviant_utility == pytest.approx(3.0)
+        assert c.profitable
+
+    def test_capacity_check_enforced(self):
+        job, asks, tree = scenario()
+        attack = SybilAttack.chain(1, capacities=(1, 1), values=(2.0, 4.0))
+        with pytest.raises(AttackError):
+            compare_sybil_attack(
+                KthPriceAuction(), job, asks, tree, attack, cost=2.0,
+                reps=1, rng=1, true_capacity=1,
+            )

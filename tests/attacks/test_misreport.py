@@ -1,0 +1,60 @@
+"""Tests for misreporting helpers."""
+
+import pytest
+
+from repro.attacks.misreport import deviation_grid, misreport, misreport_value
+from repro.core.exceptions import AttackError
+from repro.core.types import Ask
+
+
+def profile():
+    return {1: Ask(0, 2, 3.0), 2: Ask(1, 1, 4.0)}
+
+
+class TestMisreportValue:
+    def test_changes_only_target(self):
+        out = misreport_value(profile(), 1, 9.0)
+        assert out[1].value == 9.0
+        assert out[1].capacity == 2
+        assert out[2] == Ask(1, 1, 4.0)
+
+    def test_original_untouched(self):
+        asks = profile()
+        misreport_value(asks, 1, 9.0)
+        assert asks[1].value == 3.0
+
+    def test_unknown_user(self):
+        with pytest.raises(AttackError):
+            misreport_value(profile(), 7, 1.0)
+
+    def test_nonpositive_value(self):
+        with pytest.raises(AttackError):
+            misreport_value(profile(), 1, 0.0)
+
+
+class TestMisreport:
+    def test_value_and_capacity(self):
+        out = misreport(profile(), 1, value=5.0, capacity=1)
+        assert out[1] == Ask(0, 1, 5.0)
+
+    def test_value_only(self):
+        out = misreport(profile(), 1, value=5.0)
+        assert out[1].capacity == 2
+
+    def test_unknown_user(self):
+        with pytest.raises(AttackError):
+            misreport(profile(), 7, value=1.0)
+
+
+class TestDeviationGrid:
+    def test_excludes_truthful_point(self):
+        grid = deviation_grid(4.0)
+        assert 4.0 not in grid
+        assert all(v > 0 for v in grid)
+
+    def test_custom_factors(self):
+        assert deviation_grid(2.0, factors=(0.5, 1.0, 3.0)) == (1.0, 6.0)
+
+    def test_nonpositive_cost_rejected(self):
+        with pytest.raises(AttackError):
+            deviation_grid(0.0)

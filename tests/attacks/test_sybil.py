@@ -1,0 +1,240 @@
+"""Tests for the sybil attack model (§3-B)."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.sybil import IdentitySpec, SybilAttack, apply_attack
+from repro.core.exceptions import AttackError
+from repro.core.types import Ask
+from repro.tree.incentive_tree import ROOT, IncentiveTree
+
+
+def base_scenario():
+    """root -> 1 -> 2 -> {3, 4}; victim is 2 with two children."""
+    tree = IncentiveTree()
+    tree.attach(1, ROOT)
+    tree.attach(2, 1)
+    tree.attach(3, 2)
+    tree.attach(4, 2)
+    asks = {
+        1: Ask(0, 2, 1.0),
+        2: Ask(1, 5, 7.0),
+        3: Ask(0, 1, 2.0),
+        4: Ask(2, 3, 3.0),
+    }
+    return asks, tree
+
+
+class TestSpecValidation:
+    def test_forward_parent_slot_rejected(self):
+        with pytest.raises(AttackError):
+            SybilAttack(
+                victim=2,
+                identities=(IdentitySpec(1, 1.0, parent_slot=0),),
+            )
+
+    def test_bad_parent_slot_rejected(self):
+        with pytest.raises(AttackError):
+            SybilAttack(
+                victim=2,
+                identities=(IdentitySpec(1, 1.0, parent_slot=-2),),
+            )
+
+    def test_empty_identities_rejected(self):
+        with pytest.raises(AttackError):
+            SybilAttack(victim=2, identities=())
+
+    def test_total_capacity(self):
+        attack = SybilAttack.chain(2, capacities=(2, 3), values=(1.0, 1.0))
+        assert attack.total_capacity() == 5
+
+
+class TestChainShape:
+    def test_paper_fig1_shape(self):
+        """Fig. 1: P2 (τ2, 5, 7) splits into three identities."""
+        asks, tree = base_scenario()
+        attack = SybilAttack.chain(
+            2, capacities=(1, 2, 2), values=(4.0, 6.0, 8.0)
+        )
+        new_asks, new_tree, ids = apply_attack(attack, asks, tree, true_capacity=5)
+        assert len(ids) == 3
+        # Identity 0 replaces the victim under the original parent.
+        assert new_tree.parent(ids[0]) == 1
+        assert new_tree.parent(ids[1]) == ids[0]
+        assert new_tree.parent(ids[2]) == ids[1]
+        # Original children hang under the deepest identity.
+        assert set(new_tree.children(ids[2])) == {3, 4}
+        # Victim is gone.
+        assert 2 not in new_tree
+        assert 2 not in new_asks
+        # Identities inherit the victim's type.
+        for i, (cap, val) in zip(ids, [(1, 4.0), (2, 6.0), (2, 8.0)]):
+            assert new_asks[i] == Ask(1, cap, val)
+        new_tree.validate()
+
+    def test_depths_increase_for_descendants(self):
+        asks, tree = base_scenario()
+        attack = SybilAttack.chain(2, capacities=(2, 3), values=(7.0, 7.0))
+        _, new_tree, ids = apply_attack(attack, asks, tree)
+        assert new_tree.depth(3) == tree.depth(3) + 1
+
+
+class TestStarShape:
+    def test_siblings_under_original_parent(self):
+        asks, tree = base_scenario()
+        attack = SybilAttack.star(2, capacities=(2, 3), values=(7.0, 7.0))
+        _, new_tree, ids = apply_attack(attack, asks, tree)
+        assert all(new_tree.parent(i) == 1 for i in ids)
+        # Non-descendant depths unchanged (Lemma 6.4 second shape).
+        assert new_tree.depth(1) == tree.depth(1)
+
+    def test_explicit_child_assignment(self):
+        asks, tree = base_scenario()
+        attack = SybilAttack(
+            victim=2,
+            identities=(
+                IdentitySpec(2, 7.0, parent_slot=-1),
+                IdentitySpec(3, 7.0, parent_slot=-1),
+            ),
+            child_assignment=(0, 1),
+        )
+        _, new_tree, ids = apply_attack(attack, asks, tree)
+        assert new_tree.parent(3) == ids[0]
+        assert new_tree.parent(4) == ids[1]
+
+
+class TestRandomShape:
+    def test_random_attacks_are_admissible(self):
+        asks, tree = base_scenario()
+        for seed in range(30):
+            attack = SybilAttack.random(
+                2, num_identities=4, total_capacity=5, value=7.0,
+                num_children=2, rng=seed,
+            )
+            assert attack.total_capacity() == 5
+            new_asks, new_tree, ids = apply_attack(
+                attack, asks, tree, true_capacity=5
+            )
+            new_tree.validate()
+            # Every identity hangs under the original parent or an
+            # earlier identity (Remark 3.1's constraint).
+            for l, i in enumerate(ids):
+                parent = new_tree.parent(i)
+                assert parent == 1 or parent in ids[:l]
+
+    def test_capacity_composition_is_positive(self):
+        for seed in range(20):
+            attack = SybilAttack.random(2, 5, 17, 6.0, 0, rng=seed)
+            assert all(s.capacity >= 1 for s in attack.identities)
+            assert attack.total_capacity() == 17
+
+    def test_single_identity(self):
+        attack = SybilAttack.random(2, 1, 5, 6.0, 0, rng=0)
+        assert attack.num_identities == 1
+        assert attack.identities[0].capacity == 5
+
+    def test_infeasible_split_rejected(self):
+        with pytest.raises(AttackError):
+            SybilAttack.random(2, 6, 5, 6.0, 0, rng=0)
+        with pytest.raises(AttackError):
+            SybilAttack.random(2, 0, 5, 6.0, 0, rng=0)
+
+
+class TestApplyValidation:
+    def test_unknown_victim(self):
+        asks, tree = base_scenario()
+        attack = SybilAttack.chain(99, (1,), (1.0,))
+        with pytest.raises(AttackError):
+            apply_attack(attack, asks, tree)
+
+    def test_capacity_exceeding_k_j_rejected(self):
+        asks, tree = base_scenario()
+        attack = SybilAttack.chain(2, capacities=(4, 4), values=(7.0, 7.0))
+        with pytest.raises(AttackError):
+            apply_attack(attack, asks, tree, true_capacity=5)
+
+    def test_nonpositive_identity_value_rejected(self):
+        asks, tree = base_scenario()
+        attack = SybilAttack.chain(2, capacities=(1,), values=(-1.0,))
+        with pytest.raises(AttackError):
+            apply_attack(attack, asks, tree)
+
+    def test_wrong_child_assignment_length(self):
+        asks, tree = base_scenario()
+        attack = SybilAttack(
+            victim=2,
+            identities=(IdentitySpec(5, 7.0),),
+            child_assignment=(0,),  # victim has two children
+        )
+        with pytest.raises(AttackError):
+            apply_attack(attack, asks, tree)
+
+    def test_child_assigned_to_unknown_identity(self):
+        asks, tree = base_scenario()
+        attack = SybilAttack(
+            victim=2,
+            identities=(IdentitySpec(5, 7.0),),
+            child_assignment=(0, 5),
+        )
+        with pytest.raises(AttackError):
+            apply_attack(attack, asks, tree)
+
+    def test_original_inputs_not_mutated(self):
+        asks, tree = base_scenario()
+        before_asks = dict(asks)
+        before_map = tree.to_parent_map()
+        attack = SybilAttack.chain(2, capacities=(2, 3), values=(7.0, 7.0))
+        apply_attack(attack, asks, tree)
+        assert asks == before_asks
+        assert tree.to_parent_map() == before_map
+
+    def test_identity_ids_are_fresh(self):
+        asks, tree = base_scenario()
+        attack = SybilAttack.chain(2, capacities=(2, 3), values=(7.0, 7.0))
+        _, _, ids = apply_attack(attack, asks, tree)
+        assert min(ids) > max(asks)
+
+    def test_identities_spliced_at_victim_position(self):
+        """Same-value splits must leave the unit-ask vector unchanged —
+        the positional form of Lemma 6.4's auction-phase argument."""
+        from repro.core.extract import extract
+
+        asks, tree = base_scenario()
+        attack = SybilAttack.chain(2, capacities=(2, 3), values=(7.0, 7.0))
+        new_asks, _, _ = apply_attack(attack, asks, tree)
+        before = extract(1, asks).values.tolist()
+        after = extract(1, new_asks).values.tolist()
+        assert before == after
+
+
+class TestAuctionNeutrality:
+    def test_same_value_split_is_auction_neutral_per_coin(self):
+        """Under common random numbers, a same-value split produces the
+        IDENTICAL auction outcome (winning positions and prices) — the
+        strongest form of Lemma 6.4's first claim."""
+        import numpy as np
+
+        from repro.core.rit import RIT
+        from repro.core.types import Job
+
+        asks, tree = base_scenario()
+        # Enough supply for type 1 (victim's type): add peers.
+        peers = {10: Ask(1, 3, 5.0), 11: Ask(1, 4, 6.5), 12: Ask(1, 2, 8.0)}
+        for uid in peers:
+            tree.attach(uid, ROOT)
+        asks.update(peers)
+        job = Job([1, 3, 1])
+        mech = RIT(round_budget="until-complete")
+
+        attack = SybilAttack.chain(2, capacities=(2, 3), values=(7.0, 7.0))
+        new_asks, new_tree, ids = apply_attack(attack, asks, tree)
+        for seed in range(10):
+            honest = mech.run(job, asks, tree, np.random.default_rng(seed))
+            attacked = mech.run(job, new_asks, new_tree, np.random.default_rng(seed))
+            assert honest.total_auction_payment == pytest.approx(
+                attacked.total_auction_payment
+            )
+            split_pay = sum(attacked.auction_payment_of(i) for i in ids)
+            assert split_pay == pytest.approx(honest.auction_payment_of(2))
+            split_x = sum(attacked.tasks_of(i) for i in ids)
+            assert split_x == honest.tasks_of(2)

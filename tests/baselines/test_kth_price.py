@@ -1,0 +1,120 @@
+"""Tests for the k-th lowest price auction baseline."""
+
+import pytest
+
+from repro.baselines.kth_price import KthPriceAuction
+from repro.core.types import Ask, Job
+from repro.tree.incentive_tree import ROOT, IncentiveTree
+
+
+def star(ids):
+    tree = IncentiveTree()
+    for i in ids:
+        tree.attach(i, ROOT)
+    return tree
+
+
+class TestFig2Numbers:
+    """The §4-A walk-through, before the attack."""
+
+    def test_honest_clearing(self):
+        asks = {1: Ask(0, 2, 2.0), 2: Ask(0, 1, 3.0), 3: Ask(0, 1, 5.0)}
+        out = KthPriceAuction().run(Job([2]), asks, star([1, 2, 3]))
+        assert out.completed
+        assert out.allocation == {1: 2}
+        # "P1 is assigned to complete two tasks, and the auction payment
+        # is 2 × 3 = 6."
+        assert out.payment_of(1) == pytest.approx(6.0)
+
+    def test_post_attack_clearing(self):
+        """After the split, P11 and P2 each win one task at price 5."""
+        asks = {
+            2: Ask(0, 1, 3.0),
+            3: Ask(0, 1, 5.0),
+            4: Ask(0, 1, 2.0),   # identity P11
+            5: Ask(0, 1, 5.0),   # identity P12
+        }
+        out = KthPriceAuction().run(Job([2]), asks, star([2, 3, 4, 5]))
+        assert out.allocation == {4: 1, 2: 1}
+        assert out.payment_of(4) == pytest.approx(5.0)
+        assert out.payment_of(2) == pytest.approx(5.0)
+
+
+class TestFig3Numbers:
+    """The §4-B third-price setting."""
+
+    def test_honest_p1_wins_nothing(self):
+        asks = {
+            1: Ask(0, 1, 5.0),
+            2: Ask(0, 1, 4.0),
+            3: Ask(0, 1, 5.0),
+            4: Ask(0, 1, 4.0),
+        }
+        out = KthPriceAuction().run(Job([2]), asks, star([1, 2, 3, 4]))
+        assert out.payment_of(1) == 0.0
+        assert out.allocation == {2: 1, 4: 1}
+        assert out.payment_of(2) == pytest.approx(5.0)
+
+    def test_underbidding_p1_wins_at_4(self):
+        asks = {
+            1: Ask(0, 1, 4.0 - 1e-9),
+            2: Ask(0, 1, 4.0),
+            3: Ask(0, 1, 5.0),
+            4: Ask(0, 1, 4.0),
+        }
+        out = KthPriceAuction().run(Job([2]), asks, star([1, 2, 3, 4]))
+        assert out.tasks_of(1) == 1
+        assert out.payment_of(1) == pytest.approx(4.0)
+
+
+class TestGeneralBehaviour:
+    def test_multi_type_jobs(self):
+        asks = {
+            1: Ask(0, 1, 1.0),
+            2: Ask(1, 2, 2.0),
+            3: Ask(0, 1, 3.0),
+            4: Ask(1, 1, 4.0),
+        }
+        out = KthPriceAuction().run(Job([1, 2]), asks, star([1, 2, 3, 4]))
+        assert out.completed
+        assert out.tasks_of(1) == 1
+        assert out.tasks_of(2) == 2
+        assert out.payment_of(1) == pytest.approx(3.0)
+        assert out.payment_of(2) == pytest.approx(2 * 4.0)
+
+    def test_supply_exactly_q_prices_at_highest_winner(self):
+        asks = {1: Ask(0, 1, 2.0), 2: Ask(0, 1, 7.0)}
+        out = KthPriceAuction().run(Job([2]), asks, star([1, 2]))
+        assert out.completed
+        assert out.payment_of(1) == pytest.approx(7.0)
+        assert out.payment_of(2) == pytest.approx(7.0)
+
+    def test_insufficient_supply_voids_by_default(self):
+        asks = {1: Ask(0, 1, 2.0)}
+        out = KthPriceAuction().run(Job([3]), asks, star([1]))
+        assert not out.completed
+        assert out.allocation == {}
+
+    def test_partial_fill_when_completion_not_required(self):
+        asks = {1: Ask(0, 1, 2.0)}
+        mech = KthPriceAuction(require_completion=False)
+        out = mech.run(Job([3, 1]), asks, star([1]))
+        assert not out.completed
+        assert out.tasks_of(1) == 1
+
+    def test_empty_type_skipped(self):
+        asks = {1: Ask(1, 1, 2.0)}
+        out = KthPriceAuction().run(Job([0, 1]), asks, star([1]))
+        assert out.completed
+        assert out.tasks_of(1) == 1
+
+    def test_ties_broken_by_profile_order(self):
+        asks = {3: Ask(0, 1, 2.0), 1: Ask(0, 1, 2.0), 2: Ask(0, 1, 2.0)}
+        out = KthPriceAuction().run(Job([1]), asks, star([1, 2, 3]))
+        assert out.tasks_of(3) == 1  # first in the profile wins the tie
+
+    def test_deterministic_regardless_of_rng(self):
+        asks = {1: Ask(0, 1, 1.0), 2: Ask(0, 1, 2.0)}
+        a = KthPriceAuction().run(Job([1]), asks, star([1, 2]), rng=0)
+        b = KthPriceAuction().run(Job([1]), asks, star([1, 2]), rng=999)
+        assert a.payments == b.payments

@@ -1,0 +1,88 @@
+"""Property-based tests for the k-th lowest price auction.
+
+[31]'s classical result: with unit-capacity bidders the (q+1)-st price
+auction is dominant-strategy truthful.  Hypothesis searches for
+counterexamples; it also confirms the multi-unit failure mode (the §4
+price-manipulation channel) exists, so the baseline is faithful on both
+sides of the boundary.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.kth_price import KthPriceAuction
+from repro.core.types import Ask, Job
+from repro.tree.incentive_tree import ROOT, IncentiveTree
+
+
+def star(ids):
+    tree = IncentiveTree()
+    for i in ids:
+        tree.attach(i, ROOT)
+    return tree
+
+
+@st.composite
+def unit_instances(draw):
+    n = draw(st.integers(min_value=2, max_value=10))
+    costs = [
+        draw(st.floats(min_value=0.1, max_value=10.0)) for _ in range(n)
+    ]
+    q = draw(st.integers(min_value=1, max_value=n - 1))
+    bidder = draw(st.integers(min_value=0, max_value=n - 1))
+    report = draw(st.floats(min_value=0.05, max_value=12.0))
+    return costs, q, bidder, report
+
+
+class TestUnitBidderTruthfulness:
+    @given(instance=unit_instances())
+    @settings(max_examples=300, deadline=None)
+    def test_no_profitable_unit_misreport(self, instance):
+        """For unit-capacity bidders, no single misreport beats truth."""
+        costs, q, bidder, report = instance
+        mech = KthPriceAuction(require_completion=False)
+        job = Job([q])
+        tree = star(range(len(costs)))
+
+        def utility(asks):
+            out = mech.run(job, asks, tree)
+            return out.utility_of(bidder, costs[bidder])
+
+        truthful = {i: Ask(0, 1, c) for i, c in enumerate(costs)}
+        deviant = dict(truthful)
+        deviant[bidder] = Ask(0, 1, report)
+        assert utility(deviant) <= utility(truthful) + 1e-9
+
+    @given(instance=unit_instances())
+    @settings(max_examples=150, deadline=None)
+    def test_individual_rationality(self, instance):
+        costs, q, bidder, _ = instance
+        mech = KthPriceAuction(require_completion=False)
+        out = mech.run(
+            Job([q]),
+            {i: Ask(0, 1, c) for i, c in enumerate(costs)},
+            star(range(len(costs))),
+        )
+        for i, c in enumerate(costs):
+            assert out.utility_of(i, c) >= -1e-9
+
+
+class TestMultiUnitFailure:
+    def test_the_fig2_channel_is_reachable(self):
+        """The multi-unit bidder CAN profit by withholding supply at a
+        higher price — the §4-A failure RIT exists to close.  (Keeping
+        this as a test documents that the baseline reproduces the paper's
+        premise, not just its happy path.)"""
+        mech = KthPriceAuction()
+        job = Job([2])
+        tree = star([1, 2, 3])
+        truthful = {1: Ask(0, 2, 2.0), 2: Ask(0, 1, 3.0), 3: Ask(0, 1, 5.0)}
+        honest = mech.run(job, truthful, tree).utility_of(1, 2.0)
+        # withhold one unit and overbid it via the claimed capacity:
+        deviant = dict(truthful)
+        deviant[1] = Ask(0, 1, 2.0)  # only one unit offered
+        out = mech.run(job, deviant, tree)
+        lying = out.utility_of(1, 2.0)
+        # price rises from 3 to 5; one task at 5 beats two at 3.
+        assert lying > honest

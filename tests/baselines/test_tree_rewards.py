@@ -1,0 +1,128 @@
+"""Tests for the baseline tree reward rules (MIT/DARPA, Lv–Moscibroda,
+Pachira-style)."""
+
+import math
+
+import pytest
+
+from repro.baselines.pachira import pachira_style_rewards
+from repro.baselines.tree_rewards import (
+    lv_moscibroda_rewards,
+    mit_referral_rewards,
+)
+from repro.core.exceptions import ConfigurationError
+from repro.tree.incentive_tree import ROOT, IncentiveTree
+
+
+def make_tree(edges):
+    tree = IncentiveTree()
+    for parent, child in edges:
+        tree.attach(child, parent)
+    return tree
+
+
+class TestMITReferral:
+    def test_darpa_balloon_story(self):
+        """§1: finder $2000, inviter $1000, inviter's inviter $500."""
+        # root -> carol -> alice -> bob (the balloon finder).
+        tree = make_tree([(ROOT, 1), (1, 2), (2, 3)])
+        rewards = mit_referral_rewards(tree, {3: 2000.0})
+        assert rewards[3] == pytest.approx(2000.0)
+        assert rewards[2] == pytest.approx(1000.0)
+        assert rewards[1] == pytest.approx(500.0)
+
+    def test_bob_sybil_attack_gains(self):
+        """§1's counterexample: Bob splits into Bob1/Bob2 and collects
+        $3000 while Alice drops from $1000 to $500."""
+        honest = make_tree([(ROOT, 1), (1, 2)])  # alice=1, bob=2
+        h = mit_referral_rewards(honest, {2: 2000.0})
+        attacked = make_tree([(ROOT, 1), (1, 3), (3, 4)])  # bob2=3, bob1=4
+        a = mit_referral_rewards(attacked, {4: 2000.0})
+        assert h[2] == pytest.approx(2000.0)
+        assert a[4] + a[3] == pytest.approx(3000.0)  # Bob's identities
+        assert a[1] == pytest.approx(500.0)          # Alice loses
+        assert a[4] + a[3] > h[2]                    # NOT sybil-proof
+
+    def test_multiple_contributors_accumulate(self):
+        tree = make_tree([(ROOT, 1), (1, 2), (1, 3)])
+        rewards = mit_referral_rewards(tree, {2: 10.0, 3: 20.0})
+        assert rewards[1] == pytest.approx(0.5 * 10 + 0.5 * 20)
+
+    def test_gamma_validation(self):
+        tree = make_tree([(ROOT, 1)])
+        for gamma in (0.0, 1.0, -0.3):
+            with pytest.raises(ConfigurationError):
+                mit_referral_rewards(tree, {1: 1.0}, gamma=gamma)
+
+    def test_custom_gamma(self):
+        tree = make_tree([(ROOT, 1), (1, 2)])
+        rewards = mit_referral_rewards(tree, {2: 9.0}, gamma=1.0 / 3.0)
+        assert rewards[1] == pytest.approx(3.0)
+
+
+class TestLvMoscibroda:
+    def test_zero_contribution_earns_zero(self):
+        tree = make_tree([(ROOT, 1), (ROOT, 2)])
+        rewards = lv_moscibroda_rewards(tree, {2: 5.0})
+        assert rewards[1] == 0.0
+
+    def test_formula_on_shared_pot(self):
+        tree = make_tree([(ROOT, 1), (ROOT, 2)])
+        rewards = lv_moscibroda_rewards(tree, {1: 4.0, 2: 4.0})
+        expected = 2 * 4.0 + math.log(1 - 4.0 / 8.0)
+        assert rewards[1] == pytest.approx(expected)
+        assert rewards[2] == pytest.approx(expected)
+
+    def test_sole_contributor_is_clamped_finite(self):
+        tree = make_tree([(ROOT, 1)])
+        rewards = lv_moscibroda_rewards(tree, {1: 6.0})
+        assert rewards[1] == pytest.approx(12.0 + math.log(1.0 / 7.0))
+        assert math.isfinite(rewards[1])
+
+    def test_all_zero_contributions(self):
+        tree = make_tree([(ROOT, 1), (ROOT, 2)])
+        assert lv_moscibroda_rewards(tree, {}) == {1: 0.0, 2: 0.0}
+
+
+class TestPachiraStyle:
+    def test_marginal_value_shape(self):
+        # root -> 1 -> 2; node 1's reward is the marginal value of its own
+        # contribution on top of node 2's subtree.
+        tree = make_tree([(ROOT, 1), (1, 2)])
+        rewards = pachira_style_rewards(
+            tree, {1: 10.0, 2: 10.0}, prize=100.0, scale=10.0
+        )
+        f = lambda x: 1 - 2 ** (-x / 10.0)
+        assert rewards[2] == pytest.approx(100 * (f(10) - f(0)))
+        assert rewards[1] == pytest.approx(100 * (f(20) - f(10)))
+        # Concavity: the node stacked on a contributing subtree earns less
+        # for the same own contribution.
+        assert rewards[1] < rewards[2]
+
+    def test_rewards_bounded_by_prize(self):
+        tree = make_tree([(ROOT, 1), (1, 2), (2, 3)])
+        rewards = pachira_style_rewards(
+            tree, {1: 50.0, 2: 50.0, 3: 50.0}, prize=100.0, scale=5.0
+        )
+        assert sum(rewards.values()) <= 100.0 + 1e-9
+
+    def test_chain_split_never_gains(self):
+        """Concavity -> splitting a contribution across a chain of
+        identities cannot beat keeping it whole."""
+        whole = make_tree([(ROOT, 1)])
+        w = pachira_style_rewards(whole, {1: 20.0}, prize=100.0, scale=10.0)
+        split = make_tree([(ROOT, 1), (1, 2)])
+        s = pachira_style_rewards(split, {1: 10.0, 2: 10.0}, prize=100.0, scale=10.0)
+        assert s[1] + s[2] <= w[1] + 1e-9
+
+    def test_validation(self):
+        tree = make_tree([(ROOT, 1)])
+        with pytest.raises(ConfigurationError):
+            pachira_style_rewards(tree, {1: 1.0}, prize=0.0)
+        with pytest.raises(ConfigurationError):
+            pachira_style_rewards(tree, {1: 1.0}, scale=0.0)
+
+    def test_negative_contributions_ignored(self):
+        tree = make_tree([(ROOT, 1)])
+        rewards = pachira_style_rewards(tree, {1: -5.0})
+        assert rewards[1] == 0.0

@@ -1,0 +1,76 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.rit import RIT
+from repro.core.types import Ask, Job, Population, User
+from repro.tree.incentive_tree import ROOT, IncentiveTree
+from repro.workloads.scenarios import Scenario, paper_scenario
+from repro.workloads.users import UserDistribution
+
+
+@pytest.fixture
+def rng():
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_job():
+    """Three types, a handful of tasks each."""
+    return Job([4, 3, 5])
+
+
+@pytest.fixture
+def small_population(rng):
+    """Twelve users covering three types with mixed capacities/costs."""
+    users = []
+    for i in range(12):
+        users.append(
+            User(
+                user_id=i,
+                task_type=i % 3,
+                capacity=1 + (i % 4),
+                cost=0.5 + 0.75 * (i % 5),
+            )
+        )
+    return Population(users)
+
+
+@pytest.fixture
+def small_tree(small_population):
+    """A two-level tree over the small population.
+
+    Layout: users 0..3 under the root; 4..7 under user (i-4); 8..11 under
+    user (i-8).
+    """
+    tree = IncentiveTree()
+    for i in range(4):
+        tree.attach(i, ROOT)
+    for i in range(4, 8):
+        tree.attach(i, i - 4)
+    for i in range(8, 12):
+        tree.attach(i, i - 8)
+    return tree
+
+
+@pytest.fixture
+def small_asks(small_population):
+    return small_population.truthful_asks()
+
+
+@pytest.fixture
+def rit_until_complete():
+    return RIT(h=0.8, round_budget="until-complete")
+
+
+@pytest.fixture
+def medium_scenario():
+    """A 400-user paper-style scenario (deterministic)."""
+    job = Job.uniform(5, 25)
+    return paper_scenario(
+        400, job, rng=777, distribution=UserDistribution(num_types=5)
+    )

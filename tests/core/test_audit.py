@@ -1,0 +1,147 @@
+"""Tests for the auditing wrapper."""
+
+import math
+
+import pytest
+
+from repro.core.audit import AuditedMechanism, audit_outcome
+from repro.core.exceptions import MechanismError
+from repro.core.mechanism import Mechanism
+from repro.core.outcome import MechanismOutcome
+from repro.core.rit import RIT
+from repro.core.types import Ask, Job
+from repro.tree.incentive_tree import ROOT, IncentiveTree
+
+
+def profile():
+    tree = IncentiveTree()
+    asks = {}
+    for i, (tau, cap, val) in enumerate(
+        [(0, 2, 1.0), (0, 2, 2.0), (1, 3, 1.5), (1, 2, 2.5)], start=0
+    ):
+        tree.attach(i, ROOT)
+        asks[i] = Ask(tau, cap, val)
+    return Job([2, 2]), asks, tree
+
+
+def good_outcome():
+    return MechanismOutcome(
+        allocation={0: 2, 2: 2},
+        auction_payments={0: 4.0, 2: 5.0},
+        payments={0: 4.5, 2: 5.0},
+        completed=True,
+    )
+
+
+class TestAuditOutcome:
+    def test_valid_outcome_passes(self):
+        job, asks, _ = profile()
+        audit_outcome(good_outcome(), job, asks)
+
+    def test_void_must_be_empty(self):
+        job, asks, _ = profile()
+        bad = MechanismOutcome(
+            allocation={0: 1}, completed=False
+        )
+        with pytest.raises(MechanismError):
+            audit_outcome(bad, job, asks)
+
+    def test_clean_void_passes(self):
+        job, asks, _ = profile()
+        audit_outcome(MechanismOutcome(completed=False), job, asks)
+
+    def test_unknown_participant(self):
+        job, asks, _ = profile()
+        bad = good_outcome()
+        bad.allocation[99] = 1
+        with pytest.raises(MechanismError):
+            audit_outcome(bad, job, asks)
+
+    def test_capacity_violation(self):
+        job, asks, _ = profile()
+        bad = good_outcome()
+        bad.allocation[0] = 3  # claimed capacity 2
+        with pytest.raises(MechanismError):
+            audit_outcome(bad, job, asks)
+
+    def test_coverage_violation(self):
+        job, asks, _ = profile()
+        bad = good_outcome()
+        bad.allocation[0] = 1  # type 0 now under-covered
+        with pytest.raises(MechanismError):
+            audit_outcome(bad, job, asks)
+
+    def test_nonfinite_payment(self):
+        job, asks, _ = profile()
+        bad = good_outcome()
+        bad.payments[0] = math.inf
+        with pytest.raises(MechanismError):
+            audit_outcome(bad, job, asks)
+
+    def test_negative_payment(self):
+        job, asks, _ = profile()
+        bad = good_outcome()
+        bad.payments[0] = -1.0
+        with pytest.raises(MechanismError):
+            audit_outcome(bad, job, asks)
+
+    def test_final_below_auction(self):
+        job, asks, _ = profile()
+        bad = good_outcome()
+        bad.payments[0] = 3.0  # auction payment is 4.0
+        with pytest.raises(MechanismError):
+            audit_outcome(bad, job, asks)
+
+    def test_referral_bound_violation(self):
+        job, asks, _ = profile()
+        bad = good_outcome()
+        bad.payments[0] = 100.0
+        with pytest.raises(MechanismError):
+            audit_outcome(bad, job, asks)
+
+    def test_referral_bound_can_be_waived(self):
+        job, asks, _ = profile()
+        loose = good_outcome()
+        loose.payments[0] = 100.0
+        audit_outcome(loose, job, asks, check_referral_bound=False)
+
+
+class TestAuditedMechanism:
+    def test_wraps_rit_transparently(self):
+        job, asks, tree = profile()
+        mech = AuditedMechanism(RIT(round_budget="until-complete"))
+        out = mech.run(job, asks, tree, rng=0)
+        assert isinstance(out, MechanismOutcome)
+        assert "RIT" in mech.name
+
+    def test_detects_broken_mechanism(self):
+        class Broken(Mechanism):
+            name = "broken"
+
+            def run(self, job, asks, tree, rng=None):
+                return MechanismOutcome(
+                    allocation={0: 99},
+                    payments={0: 1.0},
+                    auction_payments={0: 1.0},
+                    completed=True,
+                )
+
+        job, asks, tree = profile()
+        with pytest.raises(MechanismError):
+            AuditedMechanism(Broken()).run(job, asks, tree)
+
+    def test_naive_combo_needs_waiver(self):
+        """The naive combo's tree rule pays less than contributions for
+        large shares — it violates the referral bound by design, so the
+        audit must run with the bound waived."""
+        from repro.baselines.naive_combo import NaiveComboMechanism
+
+        tree = IncentiveTree()
+        tree.attach(1, ROOT)
+        tree.attach(2, ROOT)
+        tree.attach(3, ROOT)
+        asks = {1: Ask(0, 2, 2.0), 2: Ask(0, 1, 3.0), 3: Ask(0, 1, 5.0)}
+        job = Job([2])
+        mech = AuditedMechanism(NaiveComboMechanism(), check_referral_bound=False)
+        out = mech.run(job, asks, tree)
+        assert out.completed

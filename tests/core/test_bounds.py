@@ -1,0 +1,141 @@
+"""Tests for the Lemma 6.2/6.3 bounds and round budgets."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import bounds
+from repro.core.exceptions import ConfigurationError
+
+
+class TestCRATruthfulProbability:
+    def test_remark_61_first_anchor(self):
+        """Paper: K_max=10, m_i=1000, q=0 gives ≈ 0.98 (base-10 log)."""
+        value = bounds.cra_truthful_probability(10, 0, 1000)
+        assert value == pytest.approx(0.98, abs=0.005)
+
+    def test_remark_61_second_anchor(self):
+        """Paper: k=10, q+m_i=50 gives ≈ 0.59."""
+        value = bounds.cra_truthful_probability(10, 0, 50)
+        assert value == pytest.approx(0.59, abs=0.005)
+
+    def test_decreases_as_q_shrinks(self):
+        """Remark 6.1: the bound decreases with the decrement of q."""
+        values = [bounds.cra_truthful_probability(10, q, 1000) for q in (1000, 500, 100, 0)]
+        assert values == sorted(values, reverse=True)
+
+    def test_increases_with_m_i(self):
+        values = [bounds.cra_truthful_probability(10, 0, m) for m in (100, 500, 1000, 5000)]
+        assert values == sorted(values)
+
+    def test_decreases_with_coalition_size(self):
+        values = [bounds.cra_truthful_probability(k, 0, 1000) for k in (1, 5, 10, 50)]
+        assert values == sorted(values, reverse=True)
+
+    def test_vacuous_when_coalition_dominates(self):
+        assert bounds.cra_truthful_probability(30, 0, 50) == -math.inf
+
+    def test_k_zero_is_essentially_one(self):
+        value = bounds.cra_truthful_probability(0, 0, 1000)
+        assert value == pytest.approx(1.0, abs=1e-6)
+
+    def test_log_base_changes_value(self):
+        b10 = bounds.cra_truthful_probability(10, 0, 1000, log_base=10)
+        b2 = bounds.cra_truthful_probability(10, 0, 1000, log_base=2)
+        assert b2 < b10  # log2 penalty is larger
+
+    def test_input_validation(self):
+        with pytest.raises(ConfigurationError):
+            bounds.cra_truthful_probability(-1, 0, 10)
+        with pytest.raises(ConfigurationError):
+            bounds.cra_truthful_probability(1, -1, 10)
+        with pytest.raises(ConfigurationError):
+            bounds.cra_truthful_probability(1, 0, 0)
+        with pytest.raises(ConfigurationError):
+            bounds.cra_truthful_probability(1, 0, 10, log_base=1.0)
+
+    @given(
+        k=st.integers(min_value=0, max_value=50),
+        q=st.integers(min_value=0, max_value=2000),
+        m_i=st.integers(min_value=1, max_value=5000),
+    )
+    @settings(max_examples=150)
+    def test_bound_is_at_most_one(self, k, q, m_i):
+        assert bounds.cra_truthful_probability(k, q, m_i) <= 1.0 + 1e-12
+
+
+class TestPerTypeTarget:
+    def test_single_type_is_h(self):
+        assert bounds.per_type_target(0.8, 1) == pytest.approx(0.8)
+
+    def test_product_over_types_recovers_h(self):
+        eta = bounds.per_type_target(0.8, 10)
+        assert eta ** 10 == pytest.approx(0.8)
+
+    def test_eta_exceeds_h_for_multiple_types(self):
+        assert bounds.per_type_target(0.8, 10) > 0.8
+
+    def test_validation(self):
+        for h in (0.0, 1.0, -0.5, 1.5):
+            with pytest.raises(ConfigurationError):
+                bounds.per_type_target(h, 10)
+        with pytest.raises(ConfigurationError):
+            bounds.per_type_target(0.8, 0)
+
+
+class TestMaxRounds:
+    def test_paper_fig6a_parameters(self):
+        """H=0.8, m=10, K_max=20, m_i=5000 allows a couple of rounds."""
+        assert bounds.max_rounds(0.8, 10, 20, 5000) == 2
+
+    def test_fig9_parameters_give_zero(self):
+        """The printed formula supports zero rounds at the Fig. 9 scale —
+        the documented motivation for the 'until-complete' policy."""
+        assert bounds.max_rounds(0.8, 10, 20, 300) == 0
+
+    def test_budget_satisfies_target(self):
+        h, m, k_max, m_i = 0.8, 10, 20, 5000
+        budget = bounds.max_rounds(h, m, k_max, m_i)
+        p = bounds.cra_truthful_probability(k_max, 0, m_i)
+        eta = bounds.per_type_target(h, m)
+        assert p ** budget >= eta
+        assert p ** (budget + 1) < eta  # maximality
+
+    def test_monotone_in_m_i(self):
+        budgets = [bounds.max_rounds(0.8, 10, 20, m) for m in (500, 1000, 5000, 20000)]
+        assert budgets == sorted(budgets)
+
+    def test_zero_when_bound_nonpositive(self):
+        assert bounds.max_rounds(0.8, 10, 30, 50) == 0
+
+    def test_k_zero_degenerate_case(self):
+        # Bound is (essentially) 1: budget should allow finishing.
+        assert bounds.max_rounds(0.8, 10, 0, 100) >= 100
+
+
+class TestMinUnitAsks:
+    def test_remark_61_rule(self):
+        assert bounds.min_unit_asks(5000) == 10000
+
+    def test_zero(self):
+        assert bounds.min_unit_asks(0) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            bounds.min_unit_asks(-1)
+
+
+class TestRITTruthfulProbability:
+    def test_at_least_h_when_budgets_positive(self):
+        p = bounds.rit_truthful_probability(0.8, 10, 20, [5000] * 10)
+        assert p >= 0.8 - 1e-9
+
+    def test_zero_when_any_type_unsupported(self):
+        p = bounds.rit_truthful_probability(0.8, 10, 20, [5000] * 9 + [100])
+        assert p == 0.0
+
+    def test_skips_empty_types(self):
+        p = bounds.rit_truthful_probability(0.8, 2, 20, [5000, 0])
+        assert p > 0.8

@@ -1,0 +1,154 @@
+"""Unit + property tests for the consensus rounding primitives."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import consensus
+from repro.core.exceptions import ConfigurationError
+
+
+class TestDrawOffset:
+    def test_in_unit_interval(self):
+        import numpy as np
+
+        for seed in range(20):
+            y = consensus.draw_offset(np.random.default_rng(seed))
+            assert 0.0 <= y < 1.0
+
+    def test_deterministic(self):
+        assert consensus.draw_offset(5) == consensus.draw_offset(5)
+
+
+class TestGridExponent:
+    def test_exact_power_with_zero_offset(self):
+        assert consensus.grid_exponent(8.0, 0.0) == 3
+
+    def test_between_powers(self):
+        assert consensus.grid_exponent(9.0, 0.0) == 3
+        assert consensus.grid_exponent(15.99, 0.0) == 3
+        assert consensus.grid_exponent(16.0, 0.0) == 4
+
+    def test_offset_shifts_grid(self):
+        # grid = {2^(z+0.5)}: 2^3.5 ≈ 11.31
+        assert consensus.grid_exponent(11.0, 0.5) == 2
+        assert consensus.grid_exponent(11.5, 0.5) == 3
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ConfigurationError):
+            consensus.grid_exponent(0.0, 0.0)
+        with pytest.raises(ConfigurationError):
+            consensus.grid_exponent(1.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            consensus.grid_exponent(1.0, -0.1)
+
+
+class TestRoundDown:
+    def test_zero_and_negative_round_to_zero(self):
+        assert consensus.round_down_to_grid(0.0, 0.3) == 0.0
+        assert consensus.round_down_to_grid(-5.0, 0.3) == 0.0
+
+    def test_round_down_is_at_most_value(self):
+        for value in (1.0, 3.7, 100.0, 0.02):
+            for offset in (0.0, 0.25, 0.99):
+                assert consensus.round_down_to_grid(value, offset) <= value + 1e-12
+
+    def test_round_down_on_grid_point_is_identity(self):
+        value = 2.0 ** (4 + 0.25)
+        assert consensus.round_down_to_grid(value, 0.25) == pytest.approx(value)
+
+    def test_round_up(self):
+        down = consensus.round_down_to_grid(9.0, 0.0)
+        up = consensus.round_up_to_grid(9.0, 0.0)
+        assert down == 8.0
+        assert up == 16.0
+
+    def test_round_up_on_grid_point_is_identity(self):
+        assert consensus.round_up_to_grid(8.0, 0.0) == 8.0
+
+    def test_round_up_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            consensus.round_up_to_grid(0.0, 0.0)
+
+    @given(
+        value=st.floats(min_value=1e-6, max_value=1e12),
+        offset=st.floats(min_value=0.0, max_value=0.999999),
+    )
+    @settings(max_examples=200)
+    def test_round_down_invariants(self, value, offset):
+        down = consensus.round_down_to_grid(value, offset)
+        assert 0 < down <= value * (1 + 1e-12)
+        # The next grid point up must exceed the value.
+        assert down * 2.0 > value * (1 - 1e-12)
+
+    @given(
+        value=st.floats(min_value=1e-6, max_value=1e12),
+        offset=st.floats(min_value=0.0, max_value=0.999999),
+    )
+    @settings(max_examples=200)
+    def test_grid_points_are_powers(self, value, offset):
+        down = consensus.round_down_to_grid(value, offset)
+        z = math.log2(down) - offset
+        assert abs(z - round(z)) < 1e-9
+
+
+class TestKConsensus:
+    def test_zero_k_is_always_consensus(self):
+        assert consensus.is_k_consensus(10.0, 0, 0.4)
+
+    def test_consensus_when_no_grid_point_in_window(self):
+        # grid with offset 0: ..., 8, 16, ...; window [12, 14] has none.
+        assert consensus.is_k_consensus(14.0, 2.0, 0.0)
+
+    def test_not_consensus_when_grid_point_inside_window(self):
+        # window [7, 9] contains the grid point 8.
+        assert not consensus.is_k_consensus(9.0, 2.0, 0.0)
+
+    def test_collapsing_to_zero_is_never_consensus(self):
+        assert not consensus.is_k_consensus(1.5, 2.0, 0.0)
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ConfigurationError):
+            consensus.is_k_consensus(5.0, -1, 0.0)
+
+    @given(
+        value=st.floats(min_value=2.0, max_value=1e6),
+        k=st.floats(min_value=0.0, max_value=1.0),
+        offset=st.floats(min_value=0.0, max_value=0.999999),
+    )
+    @settings(max_examples=150)
+    def test_consensus_means_identical_rounding_in_window(self, value, k, offset):
+        if consensus.is_k_consensus(value, k, offset) and value - k > 0:
+            a = consensus.round_down_to_grid(value - k, offset)
+            b = consensus.round_down_to_grid(value, offset)
+            assert a == b
+
+
+class TestChangeProbability:
+    def test_zero_k(self):
+        assert consensus.change_probability(100.0, 0.0) == 0.0
+
+    def test_k_at_least_value(self):
+        assert consensus.change_probability(5.0, 5.0) == 1.0
+        assert consensus.change_probability(5.0, 7.0) == 1.0
+
+    def test_matches_log_formula(self):
+        assert consensus.change_probability(100.0, 10.0) == pytest.approx(
+            math.log2(100 / 90)
+        )
+
+    def test_monte_carlo_agreement(self):
+        """The closed form matches the empirical non-consensus rate."""
+        import numpy as np
+
+        gen = np.random.default_rng(0)
+        value, k = 64.0, 8.0
+        misses = sum(
+            not consensus.is_k_consensus(value, k, float(y))
+            for y in gen.random(20000)
+        )
+        assert misses / 20000 == pytest.approx(
+            consensus.change_probability(value, k), abs=0.01
+        )

@@ -1,0 +1,100 @@
+"""Statistical tests of CRA's internal randomization (Lemma 6.2 events).
+
+The Lemma 6.2 proof rests on three probabilistic facts about one CRA
+round; each is checked empirically here:
+
+* ``E_s``: an ask enters the sample with probability ``1/(q+m_i)``;
+* the Bernoulli branch keeps ``(q+m_i)/2`` asks in expectation, so the
+  overflow event ``E_o`` (more than ``q+m_i`` chosen) is rare (Chernoff);
+* the consensus estimate ``n_s`` lies in ``(z_s/2, z_s]`` and is a
+  2-point-supported random variable over the offset draw.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import consensus
+from repro.core.cra import cra
+
+
+class TestSampleRate:
+    def test_sample_size_matches_rate(self):
+        """Over many rounds, E[|S|] = W / (q + m_i)."""
+        values = np.random.default_rng(0).uniform(0.1, 10, size=4000)
+        q, m_i = 100, 100
+        sizes = [
+            cra(values, q, m_i, np.random.default_rng(seed)).sample_indices.size
+            for seed in range(300)
+        ]
+        expected = len(values) / (q + m_i)
+        assert np.mean(sizes) == pytest.approx(expected, rel=0.1)
+
+
+class TestOverflowRarity:
+    def test_overflow_event_is_rare(self):
+        """Force the Bernoulli branch (huge z_s) and count E_o: by the
+        Chernoff argument it occurs with probability <= e^{-(q+m_i)/8} —
+        astronomically small here, so it should never fire."""
+        # All asks cheap: any sampled price puts everything below s.
+        values = np.full(5000, 0.5)
+        q, m_i = 100, 100  # cap = 200; n_s up to ~5000 >> cap
+        overflows = 0
+        bernoulli_rounds = 0
+        for seed in range(200):
+            result = cra(values, q, m_i, np.random.default_rng(seed))
+            if result.n_s > q + m_i:
+                bernoulli_rounds += 1
+                overflows += result.overflow_trimmed
+        assert bernoulli_rounds > 100  # the branch actually executed
+        assert overflows == 0
+
+    def test_bernoulli_branch_keeps_half_cap_in_expectation(self):
+        """E[#chosen] = (q+m_i)/2 inside the Bernoulli branch, visible as
+        the winner count being ~q whenever n_s is huge (chosen >> q)."""
+        values = np.full(5000, 0.5)
+        q, m_i = 40, 40
+        winner_counts = []
+        for seed in range(150):
+            result = cra(values, q, m_i, np.random.default_rng(seed))
+            if result.n_s > q + m_i:
+                winner_counts.append(result.num_winners)
+        # (q+m_i)/2 = 40 chosen in expectation >= q=40 most rounds.
+        assert np.mean(winner_counts) >= 0.8 * q
+
+
+class TestConsensusEstimateDistribution:
+    def test_n_s_within_half_octave(self):
+        """n_s is z_s rounded down on the 2-grid: z_s/2 < n_s <= z_s."""
+        gen = np.random.default_rng(1)
+        for _ in range(300):
+            z = float(gen.uniform(1.0, 1e6))
+            y = float(gen.random())
+            n = consensus.round_down_to_grid(z, y)
+            assert z / 2.0 < n <= z * (1 + 1e-12)
+
+    def test_log_gap_is_uniform(self):
+        """For fixed z, log2(z / n_s(y)) is Uniform[0, 1) in the offset y
+        — the randomization property the consensus argument needs (the
+        grid point dodges any fixed half-octave window with the right
+        probability)."""
+        z = 1000.0
+        gaps = [
+            np.log2(z / consensus.round_down_to_grid(z, y))
+            for y in np.linspace(0, 0.999999, 4000)
+        ]
+        hist, _ = np.histogram(gaps, bins=10, range=(0.0, 1.0))
+        assert hist.sum() == len(gaps)
+        # Each decile holds ~10% of the mass.
+        assert np.all(np.abs(hist / len(gaps) - 0.1) < 0.02)
+
+    def test_expected_log_gap_is_half(self):
+        """E_y[log2(z) - log2(n_s)] = 1/2 — the rounding loses half a bit
+        on average, uniformly in z."""
+        gen = np.random.default_rng(2)
+        gaps = []
+        for _ in range(4000):
+            z = float(gen.uniform(10, 1e5))
+            y = float(gen.random())
+            n = consensus.round_down_to_grid(z, y)
+            gaps.append(np.log2(z) - np.log2(n))
+        assert np.mean(gaps) == pytest.approx(0.5, abs=0.03)

@@ -1,0 +1,123 @@
+"""Tests for Extract (Algorithm 2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.exceptions import ModelError
+from repro.core.extract import UnitAsks, extract
+from repro.core.types import Ask
+
+
+class TestPaperExample:
+    def test_section_5b_worked_example(self):
+        """A = ((τ1,2,3); (τ2,3,4); (τ1,4,2)) -> α=(3,3,2,2,2,2)."""
+        asks = {
+            1: Ask(0, 2, 3.0),
+            2: Ask(1, 3, 4.0),
+            3: Ask(0, 4, 2.0),
+        }
+        unit = extract(0, asks)
+        assert unit.values.tolist() == [3.0, 3.0, 2.0, 2.0, 2.0, 2.0]
+        assert unit.owners.tolist() == [1, 1, 3, 3, 3, 3]
+
+    def test_other_type(self):
+        asks = {1: Ask(0, 2, 3.0), 2: Ask(1, 3, 4.0)}
+        unit = extract(1, asks)
+        assert unit.values.tolist() == [4.0, 4.0, 4.0]
+        assert unit.owners.tolist() == [2, 2, 2]
+
+    def test_empty_type(self):
+        asks = {1: Ask(0, 2, 3.0)}
+        unit = extract(5, asks)
+        assert len(unit) == 0
+
+
+class TestCapacitiesOverride:
+    def test_remaining_capacity_shrinks_expansion(self):
+        asks = {1: Ask(0, 3, 2.0), 2: Ask(0, 2, 5.0)}
+        unit = extract(0, asks, capacities={1: 1, 2: 2})
+        assert unit.values.tolist() == [2.0, 5.0, 5.0]
+        assert unit.owners.tolist() == [1, 2, 2]
+
+    def test_zero_capacity_drops_user(self):
+        asks = {1: Ask(0, 3, 2.0)}
+        unit = extract(0, asks, capacities={1: 0})
+        assert len(unit) == 0
+
+    def test_missing_key_defaults_to_full_capacity(self):
+        asks = {1: Ask(0, 3, 2.0)}
+        unit = extract(0, asks, capacities={})
+        assert len(unit) == 3
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ModelError):
+            extract(0, {1: Ask(0, 3, 2.0)}, capacities={1: -1})
+
+    def test_capacity_above_claim_rejected(self):
+        with pytest.raises(ModelError):
+            extract(0, {1: Ask(0, 3, 2.0)}, capacities={1: 4})
+
+
+class TestUnitAsks:
+    def test_owner_of_and_capacity_of(self):
+        unit = extract(0, {4: Ask(0, 2, 1.0), 9: Ask(0, 1, 3.0)})
+        assert unit.owner_of(0) == 4
+        assert unit.owner_of(2) == 9
+        assert unit.capacity_of(4) == 2
+        assert unit.capacity_of(9) == 1
+        assert unit.capacity_of(123) == 0
+
+    def test_misaligned_arrays_rejected(self):
+        with pytest.raises(ModelError):
+            UnitAsks(0, np.zeros(3), np.zeros(2, dtype=np.int64))
+
+
+class TestOrderingAndInvariance:
+    def test_users_scanned_in_profile_order(self):
+        """Extraction follows the profile's iteration (join) order, which
+        the attack harness exploits to keep splits positionally aligned."""
+        asks = {9: Ask(0, 1, 9.0), 1: Ask(0, 1, 1.0), 5: Ask(0, 1, 5.0)}
+        unit = extract(0, asks)
+        assert unit.owners.tolist() == [9, 1, 5]
+
+    def test_split_invariance_lemma_64(self):
+        """Lemma 6.4's auction-phase argument: splitting a user into
+        identities with the same ask value leaves the unit-ask multiset
+        unchanged."""
+        whole = {1: Ask(0, 5, 3.0), 2: Ask(0, 2, 4.0)}
+        split = {
+            2: Ask(0, 2, 4.0),
+            10: Ask(0, 2, 3.0),
+            11: Ask(0, 1, 3.0),
+            12: Ask(0, 2, 3.0),
+        }
+        a = sorted(extract(0, whole).values.tolist())
+        b = sorted(extract(0, split).values.tolist())
+        assert a == b
+
+    @given(
+        profile=st.dictionaries(
+            keys=st.integers(min_value=0, max_value=50),
+            values=st.tuples(
+                st.integers(min_value=0, max_value=3),      # task type
+                st.integers(min_value=1, max_value=6),      # capacity
+                st.floats(min_value=0.01, max_value=100.0), # value
+            ),
+            min_size=0,
+            max_size=12,
+        ),
+        tau=st.integers(min_value=0, max_value=3),
+    )
+    @settings(max_examples=100)
+    def test_expansion_accounting(self, profile, tau):
+        asks = {uid: Ask(t, k, v) for uid, (t, k, v) in profile.items()}
+        unit = extract(tau, asks)
+        expected = sum(a.capacity for a in asks.values() if a.task_type == tau)
+        assert len(unit) == expected
+        for uid, ask in asks.items():
+            if ask.task_type == tau:
+                assert unit.capacity_of(uid) == ask.capacity
+                mask = unit.owners == uid
+                assert np.all(unit.values[mask] == ask.value)

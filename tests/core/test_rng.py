@@ -1,0 +1,104 @@
+"""Tests for randomness management."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.rng import as_generator, spawn, spawn_seeds, spawn_stream
+
+
+class TestAsGenerator:
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_is_deterministic(self):
+        a = as_generator(42).random(5)
+        b = as_generator(42).random(5)
+        assert np.array_equal(a, b)
+
+    def test_generator_passes_through(self):
+        gen = np.random.default_rng(0)
+        assert as_generator(gen) is gen
+
+    def test_seed_sequence_accepted(self):
+        seq = np.random.SeedSequence(7)
+        a = as_generator(seq).random(3)
+        b = as_generator(np.random.SeedSequence(7)).random(3)
+        assert np.array_equal(a, b)
+
+
+class TestSpawn:
+    def test_count(self):
+        assert len(spawn(1, 5)) == 5
+        assert spawn(1, 0) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn(1, -1)
+
+    def test_children_are_independent_and_deterministic(self):
+        a1, a2 = spawn(99, 2)
+        b1, b2 = spawn(99, 2)
+        assert np.array_equal(a1.random(4), b1.random(4))
+        assert np.array_equal(a2.random(4), b2.random(4))
+        assert not np.array_equal(a1.random(4), a2.random(4))
+
+    def test_spawn_from_generator_advances(self):
+        gen = np.random.default_rng(5)
+        first = spawn(gen, 1)[0].random(3)
+        second = spawn(gen, 1)[0].random(3)
+        assert not np.array_equal(first, second)
+
+    def test_spawn_does_not_consume_parent_stream(self):
+        gen_a = np.random.default_rng(5)
+        gen_b = np.random.default_rng(5)
+        spawn(gen_a, 3)
+        assert np.array_equal(gen_a.random(4), gen_b.random(4))
+
+
+class TestSpawnSeeds:
+    def test_same_seed_sequence_replays_identically(self):
+        """The common-random-numbers device: one seed sequence can feed
+        two generators with identical streams."""
+        (seq,) = spawn_seeds(42, 1)
+        a = np.random.default_rng(seq).random(5)
+        b = np.random.default_rng(seq).random(5)
+        assert np.array_equal(a, b)
+
+    def test_sequences_are_independent(self):
+        s1, s2 = spawn_seeds(42, 2)
+        a = np.random.default_rng(s1).random(5)
+        b = np.random.default_rng(s2).random(5)
+        assert not np.array_equal(a, b)
+
+    def test_deterministic_across_calls(self):
+        a = [np.random.default_rng(s).random(3).tolist() for s in spawn_seeds(7, 3)]
+        b = [np.random.default_rng(s).random(3).tolist() for s in spawn_seeds(7, 3)]
+        assert a == b
+
+    def test_accepts_generator_and_seed_sequence(self):
+        gen = np.random.default_rng(5)
+        assert len(spawn_seeds(gen, 2)) == 2
+        assert len(spawn_seeds(np.random.SeedSequence(5), 2)) == 2
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_seeds(1, -1)
+
+
+class TestSpawnStream:
+    def test_stream_is_deterministic(self):
+        s1 = [g.random(2).tolist() for g in itertools.islice(spawn_stream(3), 4)]
+        s2 = [g.random(2).tolist() for g in itertools.islice(spawn_stream(3), 4)]
+        assert s1 == s2
+
+    def test_stream_elements_differ(self):
+        gens = list(itertools.islice(spawn_stream(3), 3))
+        draws = [tuple(g.random(3)) for g in gens]
+        assert len(set(draws)) == 3
+
+    def test_stream_from_generator(self):
+        gen = np.random.default_rng(11)
+        gens = list(itertools.islice(spawn_stream(gen), 2))
+        assert not np.array_equal(gens[0].random(3), gens[1].random(3))

@@ -1,0 +1,42 @@
+"""End-to-end: the full reproduction report at smoke scale.
+
+Runs every figure through :func:`generate_report` in one pass — the same
+path `rit report` takes — and requires every shape check to pass.  This
+is the single highest-level assertion in the suite: "the paper
+reproduces".
+"""
+
+import dataclasses
+import re
+
+import pytest
+
+from repro.simulation.experiments import SMOKE_SCALE
+from repro.simulation.report import generate_report
+
+
+@pytest.fixture(scope="module")
+def report_text():
+    scale = dataclasses.replace(SMOKE_SCALE, fig9_reps=8)
+    return generate_report(scale=scale, rng=2024, charts=False)
+
+
+def test_all_figures_present(report_text):
+    for fig in ("fig6a", "fig6b", "fig7a", "fig7b", "fig8a", "fig8b", "fig9"):
+        assert f"## {fig}" in report_text
+
+
+def test_every_shape_check_passes(report_text):
+    match = re.search(r"\*\*(\d+)/(\d+) shape checks passed", report_text)
+    assert match, "summary line missing"
+    passed, total = int(match.group(1)), int(match.group(2))
+    failures = [
+        line for line in report_text.splitlines() if line.startswith("- FAILED")
+    ]
+    assert passed == total, (
+        f"{total - passed} shape check(s) failed:\n" + "\n".join(failures)
+    )
+
+
+def test_design_challenges_included(report_text):
+    assert "violated (as the paper shows)" in report_text

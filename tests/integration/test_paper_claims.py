@@ -1,0 +1,158 @@
+"""Integration tests tying RIT's behaviour to the paper's theorems.
+
+These run the full mechanism on moderate scenarios and check the §3-C
+properties end to end — the empirical counterparts of Theorems 1-4.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.properties import check_individual_rationality
+from repro.attacks.evaluator import compare_misreport, compare_sybil_attack
+from repro.attacks.sybil import SybilAttack
+from repro.core.rit import RIT
+from repro.core.types import Job
+from repro.workloads.scenarios import paper_scenario
+from repro.workloads.users import UserDistribution
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    """A mid-size threshold-grown scenario (Fig. 9-flavoured)."""
+    return paper_scenario(
+        500,
+        Job.uniform(5, 15),
+        rng=2024,
+        distribution=UserDistribution(num_types=5),
+        supply_threshold=True,
+    )
+
+
+@pytest.fixture(scope="module")
+def mechanism():
+    return RIT(h=0.8, round_budget="until-complete")
+
+
+class TestTheorem1IndividualRationality:
+    def test_ir_across_many_seeds(self, scenario, mechanism):
+        asks = scenario.truthful_asks()
+        costs = scenario.costs()
+        for seed in range(10):
+            out = mechanism.run(scenario.job, asks, scenario.tree, rng=seed)
+            report = check_individual_rationality(out, costs)
+            assert report.holds, report.detail
+
+
+class TestTheorem2Robustness:
+    """Truthfulness and sybil-proofness, in expectation over coin flips."""
+
+    def _victim(self, scenario, mechanism):
+        """A tree member that wins under truthful play."""
+        asks = scenario.truthful_asks()
+        out = mechanism.run(scenario.job, asks, scenario.tree, rng=123)
+        winners = [
+            uid
+            for uid, pa in out.auction_payments.items()
+            if pa > 0 and scenario.population[uid].capacity >= 4
+        ]
+        assert winners, "probe run produced no multi-capacity winner"
+        return winners[0]
+
+    def test_misreporting_does_not_pay_in_expectation(self, scenario, mechanism):
+        victim = self._victim(scenario, mechanism)
+        asks = scenario.truthful_asks()
+        cost = scenario.population[victim].cost
+        for factor in (0.6, 1.4):
+            comparison = compare_misreport(
+                mechanism,
+                scenario.job,
+                asks,
+                scenario.tree,
+                victim,
+                cost,
+                cost * factor,
+                reps=40,
+                rng=7,
+            )
+            # Allow a noise margin: the guarantee is probabilistic and the
+            # estimate over 40 paired runs carries sampling error.
+            margin = 0.15 * max(1.0, abs(comparison.honest_utility))
+            assert comparison.gain <= margin, (
+                f"misreport x{factor} gained {comparison.gain:.3f} "
+                f"(honest {comparison.honest_utility:.3f})"
+            )
+
+    def test_sybil_attack_does_not_pay_in_expectation(self, scenario, mechanism):
+        victim = self._victim(scenario, mechanism)
+        asks = scenario.truthful_asks()
+        user = scenario.population[victim]
+        for delta in (2, 3):
+            attack = SybilAttack.random(
+                victim,
+                delta,
+                user.capacity,
+                user.cost,
+                len(scenario.tree.children(victim)),
+                rng=11,
+            )
+            comparison = compare_sybil_attack(
+                mechanism,
+                scenario.job,
+                asks,
+                scenario.tree,
+                attack,
+                user.cost,
+                reps=40,
+                rng=13,
+                true_capacity=user.capacity,
+            )
+            margin = 0.15 * max(1.0, abs(comparison.honest_utility))
+            assert comparison.gain <= margin, (
+                f"{delta}-identity attack gained {comparison.gain:.3f} "
+                f"(honest {comparison.honest_utility:.3f})"
+            )
+
+
+class TestTheorem3Efficiency:
+    def test_running_time_scales_roughly_linearly(self):
+        """O(N·|J|): doubling users should not blow up the runtime by more
+        than ~4x (generous bound to stay robust on noisy CI machines)."""
+        mech = RIT(round_budget="until-complete")
+        times = {}
+        for n in (400, 800):
+            sc = paper_scenario(
+                n,
+                Job.uniform(4, 20),
+                rng=5,
+                distribution=UserDistribution(num_types=4),
+            )
+            reps = []
+            for seed in range(5):
+                out = mech.run(sc.job, sc.truthful_asks(), sc.tree, rng=seed)
+                reps.append(out.elapsed_total)
+            times[n] = min(reps)
+        assert times[800] <= 6 * max(times[400], 1e-4)
+
+
+class TestTheorem4SolicitationIncentive:
+    def test_recruiting_descendants_weakly_helps(self, scenario, mechanism):
+        """Compare each inner node's payment against its auction payment:
+        referral income is always non-negative (the additive form of
+        Theorem 4)."""
+        asks = scenario.truthful_asks()
+        out = mechanism.run(scenario.job, asks, scenario.tree, rng=31)
+        for uid in out.payments:
+            assert out.payment_of(uid) >= out.auction_payment_of(uid) - 1e-9
+
+
+class TestBudgetIdentity:
+    def test_platform_budget_decomposition(self, scenario, mechanism):
+        """Σ p_j = Σ p^A_j + referral outlay, with the outlay bounded by
+        Σ p^A_j (§7-C)."""
+        asks = scenario.truthful_asks()
+        out = mechanism.run(scenario.job, asks, scenario.tree, rng=41)
+        referral = sum(out.solicitation_rewards().values())
+        assert out.total_payment == pytest.approx(
+            out.total_auction_payment + referral
+        )
+        assert referral <= out.total_auction_payment + 1e-9

@@ -1,0 +1,151 @@
+"""Tests for the quality-aware extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ConfigurationError, ModelError
+from repro.core.rit import RIT
+from repro.core.types import Ask, Job
+from repro.quality import (
+    QualityAwareRIT,
+    QualityProfile,
+    reliability_qualities,
+    uniform_qualities,
+)
+from repro.tree.incentive_tree import ROOT, IncentiveTree
+from repro.workloads.scenarios import paper_scenario
+from repro.workloads.users import UserDistribution
+
+
+class TestQualityProfile:
+    def test_lookup_and_membership(self):
+        profile = QualityProfile({1: 0.5, 2: 1.0})
+        assert profile[1] == 0.5
+        assert 2 in profile
+        assert 3 not in profile
+        assert len(profile) == 2
+
+    def test_out_of_range_rejected(self):
+        for q in (0.0, -0.1, 1.5):
+            with pytest.raises(ModelError):
+                QualityProfile({1: q})
+
+    def test_missing_score_raises(self):
+        with pytest.raises(ModelError):
+            QualityProfile({})[7]
+
+    def test_effective_value(self):
+        profile = QualityProfile({1: 0.5})
+        assert profile.effective_value(1, 3.0) == pytest.approx(6.0)
+
+
+class TestGenerators:
+    @pytest.fixture(scope="class")
+    def population(self):
+        return UserDistribution(num_types=3).sample(200, rng=0)
+
+    def test_uniform_range(self, population):
+        profile = uniform_qualities(population, low=0.4, high=0.9, rng=1)
+        assert profile.covers(population)
+        for uid in profile:
+            assert 0.4 <= profile[uid] <= 0.9
+
+    def test_uniform_validation(self, population):
+        with pytest.raises(ConfigurationError):
+            uniform_qualities(population, low=0.0)
+        with pytest.raises(ConfigurationError):
+            uniform_qualities(population, low=0.9, high=0.5)
+
+    def test_reliability_correlates_with_capacity(self, population):
+        profile = reliability_qualities(population, rng=2)
+        caps = np.array([u.capacity for u in population], dtype=float)
+        quals = np.array([profile[u.user_id] for u in population])
+        corr = np.corrcoef(caps, quals)[0, 1]
+        assert corr > 0.5
+
+    def test_reliability_validation(self, population):
+        with pytest.raises(ConfigurationError):
+            reliability_qualities(population, floor=1.0)
+
+
+class TestQualityAwareRIT:
+    def _scenario(self):
+        job = Job.uniform(3, 12)
+        scenario = paper_scenario(
+            250, job, rng=5, distribution=UserDistribution(num_types=3)
+        )
+        qualities = uniform_qualities(scenario.population, rng=6)
+        return scenario, qualities
+
+    def test_completes_and_covers(self):
+        scenario, qualities = self._scenario()
+        mech = QualityAwareRIT(qualities, RIT(round_budget="until-complete"))
+        out = mech.run(scenario.job, scenario.truthful_asks(), scenario.tree, rng=7)
+        assert out.completed
+        assert out.total_allocated == scenario.job.size
+        assert mech.effective_coverage(out) > 0
+
+    def test_individual_rationality_transfers(self):
+        """Scaled payments still cover true costs under truthful asks."""
+        scenario, qualities = self._scenario()
+        mech = QualityAwareRIT(qualities, RIT(round_budget="until-complete"))
+        asks = scenario.truthful_asks()
+        costs = scenario.costs()
+        for seed in range(5):
+            out = mech.run(scenario.job, asks, scenario.tree, rng=seed)
+            if not out.completed:
+                continue
+            for uid, x in out.allocation.items():
+                assert out.auction_payment_of(uid) >= x * costs[uid] - 1e-9
+            for uid in out.payments:
+                assert out.utility_of(uid, costs[uid]) >= -1e-9
+
+    def test_quality_shifts_selection_statistically(self):
+        """Equal asks, unequal quality: high-quality users (lower virtual
+        asks) must win clearly more tasks in aggregate.  (CRA's random
+        winner subsampling means no per-run dominance — the effect is
+        statistical, via the smallest-n_s selection.)"""
+        num = 60
+        tree = IncentiveTree()
+        asks = {}
+        for uid in range(num):
+            tree.attach(uid, ROOT)
+            asks[uid] = Ask(0, 1, 4.0)
+        qualities = QualityProfile(
+            {uid: (1.0 if uid < num // 2 else 0.4) for uid in range(num)}
+        )
+        mech = QualityAwareRIT(qualities, RIT(round_budget="until-complete"))
+        high = low = 0
+        for seed in range(30):
+            out = mech.run(Job([10]), asks, tree, rng=seed)
+            for uid, x in out.allocation.items():
+                if uid < num // 2:
+                    high += x
+                else:
+                    low += x
+        assert high > 2 * low, (high, low)
+
+    def test_missing_quality_rejected(self):
+        scenario, qualities = self._scenario()
+        broken = QualityProfile(
+            {uid: qualities[uid] for uid in list(qualities)[:-1]}
+        )
+        mech = QualityAwareRIT(broken)
+        with pytest.raises(ModelError):
+            mech.run(scenario.job, scenario.truthful_asks(), scenario.tree)
+
+    def test_referral_bound_still_holds(self):
+        scenario, qualities = self._scenario()
+        mech = QualityAwareRIT(qualities, RIT(round_budget="until-complete"))
+        out = mech.run(scenario.job, scenario.truthful_asks(), scenario.tree, rng=9)
+        assert out.total_payment <= 2 * out.total_auction_payment + 1e-9
+
+    def test_void_passes_through(self):
+        tree = IncentiveTree()
+        tree.attach(0, ROOT)
+        asks = {0: Ask(0, 1, 1.0)}
+        qualities = QualityProfile({0: 0.8})
+        mech = QualityAwareRIT(qualities, RIT(round_budget="until-complete"))
+        out = mech.run(Job([5]), asks, tree, rng=0)
+        assert not out.completed
+        assert out.payments == {}

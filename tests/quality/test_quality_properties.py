@@ -1,0 +1,85 @@
+"""Property-based tests for the quality-aware extension."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.rit import RIT
+from repro.core.types import Ask, Job
+from repro.quality import QualityAwareRIT, QualityProfile
+from repro.tree.incentive_tree import ROOT, IncentiveTree
+
+
+@st.composite
+def quality_instances(draw):
+    num_types = draw(st.integers(min_value=1, max_value=2))
+    counts = draw(
+        st.lists(
+            st.integers(min_value=1, max_value=4),
+            min_size=num_types,
+            max_size=num_types,
+        )
+    )
+    job = Job(counts)
+    num_users = draw(st.integers(min_value=2, max_value=15))
+    tree = IncentiveTree()
+    asks = {}
+    scores = {}
+    for uid in range(num_users):
+        parent = ROOT if uid == 0 else draw(
+            st.sampled_from([ROOT] + list(range(uid)))
+        )
+        tree.attach(uid, parent)
+        asks[uid] = Ask(
+            task_type=draw(st.integers(min_value=0, max_value=num_types - 1)),
+            capacity=draw(st.integers(min_value=1, max_value=4)),
+            value=draw(st.floats(min_value=0.1, max_value=10.0)),
+        )
+        scores[uid] = draw(st.floats(min_value=0.05, max_value=1.0))
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    return job, asks, tree, QualityProfile(scores), seed
+
+
+class TestQualityInvariants:
+    @given(instance=quality_instances())
+    @settings(max_examples=80, deadline=None)
+    def test_structural_invariants(self, instance):
+        job, asks, tree, qualities, seed = instance
+        mech = QualityAwareRIT(
+            qualities, RIT(round_budget="until-complete")
+        )
+        out = mech.run(job, asks, tree, np.random.default_rng(seed))
+        if not out.completed:
+            assert out.payments == {}
+            return
+        # Coverage and capacity hold exactly as for plain RIT.
+        per_type = {tau: 0 for tau in job.types()}
+        for uid, x in out.allocation.items():
+            assert x <= asks[uid].capacity
+            per_type[asks[uid].task_type] += x
+        for tau in job.types():
+            assert per_type[tau] == job.tasks_of(tau)
+        # The virtual-ask IR transfers to real values: the scaled auction
+        # payment covers x_j * a_j.
+        for uid, x in out.allocation.items():
+            assert out.auction_payment_of(uid) >= x * asks[uid].value - 1e-9
+        # Referral bound still holds after rescaling.
+        assert out.total_payment <= 2 * out.total_auction_payment + 1e-9
+        # Effective coverage is consistent with the allocation.
+        assert mech.effective_coverage(out) <= out.total_allocated + 1e-9
+
+    @given(instance=quality_instances())
+    @settings(max_examples=40, deadline=None)
+    def test_unit_quality_reduces_to_plain_rit(self, instance):
+        """With all q_j = 1 the extension must coincide with plain RIT."""
+        job, asks, tree, _, seed = instance
+        ones = QualityProfile({uid: 1.0 for uid in asks})
+        aware = QualityAwareRIT(ones, RIT(round_budget="until-complete"))
+        plain = RIT(round_budget="until-complete")
+        a = aware.run(job, asks, tree, np.random.default_rng(seed))
+        p = plain.run(job, asks, tree, np.random.default_rng(seed))
+        assert a.allocation == p.allocation
+        assert a.completed == p.completed
+        for uid in set(a.payments) | set(p.payments):
+            assert a.payment_of(uid) == pytest.approx(p.payment_of(uid))

@@ -1,0 +1,76 @@
+"""Tests for outcome narratives."""
+
+import pytest
+
+from repro.core.rit import RIT
+from repro.core.types import Ask, Job
+from repro.simulation.explain import explain_outcome
+from repro.tree.incentive_tree import ROOT, IncentiveTree
+from repro.workloads.scenarios import paper_scenario
+from repro.workloads.users import UserDistribution
+
+
+@pytest.fixture(scope="module")
+def completed_run():
+    job = Job.uniform(3, 10)
+    scenario = paper_scenario(
+        200, job, rng=3, distribution=UserDistribution(num_types=3)
+    )
+    asks = scenario.truthful_asks()
+    out = RIT(round_budget="until-complete").run(job, asks, scenario.tree, rng=3)
+    assert out.completed
+    return out, job, asks, scenario.tree
+
+
+class TestCompletedNarrative:
+    def test_headline(self, completed_run):
+        out, job, asks, tree = completed_run
+        text = explain_outcome(out, job, asks, tree)
+        assert text.startswith("COMPLETED")
+        assert f"all {job.size} tasks" in text
+
+    def test_per_type_lines(self, completed_run):
+        out, job, asks, tree = completed_run
+        text = explain_outcome(out, job, asks, tree)
+        for tau in job.types():
+            assert f"τ{tau}:" in text
+
+    def test_money_decomposition(self, completed_run):
+        out, job, asks, tree = completed_run
+        text = explain_outcome(out, job, asks, tree)
+        assert "platform outlay" in text
+        assert "solicitation" in text
+
+    def test_top_sections(self, completed_run):
+        out, job, asks, tree = completed_run
+        text = explain_outcome(out, job, asks, tree, top=2)
+        assert "top auction earners" in text
+        # Each earner line names at most `top` users.
+        earners_line = next(
+            l for l in text.splitlines() if l.startswith("top auction earners")
+        )
+        assert earners_line.count("P") <= 2
+
+    def test_recruiters_named_with_subtrees(self, completed_run):
+        out, job, asks, tree = completed_run
+        text = explain_outcome(out, job, asks, tree)
+        if "top recruiters" in text:
+            assert "recruits" in text
+
+    def test_tree_optional(self, completed_run):
+        out, job, asks, _ = completed_run
+        text = explain_outcome(out, job, asks, None)
+        assert "COMPLETED" in text
+
+
+class TestVoidNarrative:
+    def test_void_story(self):
+        tree = IncentiveTree()
+        tree.attach(0, ROOT)
+        asks = {0: Ask(0, 1, 1.0)}
+        job = Job([5])
+        out = RIT(round_budget="until-complete").run(job, asks, tree, rng=0)
+        assert not out.completed
+        text = explain_outcome(out, job, asks, tree)
+        assert text.startswith("VOID RUN")
+        assert "Algorithm 3" in text

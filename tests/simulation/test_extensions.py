@@ -1,0 +1,161 @@
+"""Tests for the extension experiments (small scales)."""
+
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.simulation.extensions import (
+    coalition_sweep,
+    h_sweep,
+    supply_sweep,
+    tree_shape_sweep,
+)
+
+
+class TestHSweep:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return h_sweep(
+            h_values=(0.5, 0.8, 0.95),
+            num_users=1200,
+            tasks_per_type=1000,
+            num_types=3,
+            reps=2,
+            rng=10,
+        )
+
+    def test_series_present(self, result):
+        names = {s.name for s in result.series}
+        assert names == {
+            "lemma round budget",
+            "completion rate",
+            "total payment (completed)",
+        }
+
+    def test_budget_decreases_with_h(self, result):
+        budgets = result.get("lemma round budget").means
+        assert budgets == sorted(budgets, reverse=True)
+
+    def test_completion_rates_in_unit_interval(self, result):
+        for m in result.get("completion rate").means:
+            assert 0.0 <= m <= 1.0
+
+    def test_h_validation(self):
+        with pytest.raises(ConfigurationError):
+            h_sweep(h_values=(0.0,), reps=1)
+
+
+class TestCoalitionSweep:
+    def test_structure_and_bounds(self):
+        result = coalition_sweep(
+            sizes=(1, 2),
+            num_users=600,
+            tasks_per_type=100,
+            num_types=3,
+            reps=5,
+            trials=2,
+            rng=11,
+        )
+        assert result.get("mean cartel gain").xs == [1, 2]
+        bounds_ = result.get("Lemma 6.2 per-round bound").means
+        assert bounds_ == sorted(bounds_, reverse=True)
+
+    def test_markup_validation(self):
+        with pytest.raises(ConfigurationError):
+            coalition_sweep(markup=1.0)
+
+
+class TestTreeShapeSweep:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return tree_shape_sweep(
+            num_users=250, tasks_per_type=12, num_types=4, reps=3, rng=12
+        )
+
+    def test_star_pays_no_referrals(self, result):
+        assert result.get("referral share").value_at(0) == pytest.approx(
+            0.0, abs=1e-9
+        )
+
+    def test_chain_pays_less_than_social(self, result):
+        shares = result.get("referral share")
+        assert shares.value_at(1) < shares.value_at(3)
+
+    def test_heights_match_shapes(self, result):
+        heights = result.get("tree height")
+        assert heights.value_at(0) == 1.0
+        assert heights.value_at(1) == 250.0
+
+    def test_referral_share_bounded_by_one(self, result):
+        for m in result.get("referral share").means:
+            assert -1e-9 <= m <= 1.0 + 1e-9
+
+
+class TestSupplySweep:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return supply_sweep(
+            multipliers=(1.0, 2.0, 4.0),
+            tasks_per_type=30,
+            num_types=3,
+            reps=4,
+            rng=13,
+        )
+
+    def test_series_present(self, result):
+        names = {s.name for s in result.series}
+        assert names == {"completion rate", "avg clearing price (completed)"}
+
+    def test_remark_61_threshold_completes(self, result):
+        completion = result.get("completion rate")
+        assert completion.value_at(2.0) >= 0.75
+        assert completion.value_at(4.0) >= 0.75
+
+    def test_parity_supply_struggles(self, result):
+        """At supply == demand the consensus floor and the random winner
+        subsampling leave tasks uncovered."""
+        completion = result.get("completion rate")
+        assert completion.value_at(1.0) <= completion.value_at(2.0)
+
+    def test_prices_fall_with_supply(self, result):
+        prices = result.get("avg clearing price (completed)")
+        assert prices.value_at(4.0) <= prices.value_at(2.0) + 0.5
+
+    def test_sub_demand_supply_rejected(self):
+        with pytest.raises(ConfigurationError):
+            supply_sweep(multipliers=(0.5,), reps=1)
+
+
+class TestRecruitmentSweep:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.simulation.extensions import recruitment_sweep
+
+        return recruitment_sweep(
+            accept_probs=(0.3, 1.0),
+            num_users=400,
+            tasks_per_type=15,
+            num_types=3,
+            reps=3,
+            rng=14,
+        )
+
+    def test_series_present(self, result):
+        names = {s.name for s in result.series}
+        assert names == {
+            "time to supply threshold",
+            "users recruited",
+            "RIT completion rate",
+        }
+
+    def test_higher_uptake_is_faster(self, result):
+        times = result.get("time to supply threshold")
+        assert times.value_at(1.0) <= times.value_at(0.3)
+
+    def test_completion_rates_valid(self, result):
+        for m in result.get("RIT completion rate").means:
+            assert 0.0 <= m <= 1.0
+
+    def test_bad_prob_rejected(self):
+        from repro.simulation.extensions import recruitment_sweep
+        with pytest.raises(ConfigurationError):
+            recruitment_sweep(accept_probs=(0.0,), reps=1)

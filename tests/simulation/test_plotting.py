@@ -1,0 +1,95 @@
+"""Tests for the ASCII chart renderer."""
+
+import math
+
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.simulation.plotting import ascii_chart, render_result
+from repro.simulation.results import ExperimentResult
+
+
+class TestAsciiChart:
+    def test_single_series_markers_present(self):
+        chart = ascii_chart([("s", [0, 1, 2], [1.0, 2.0, 3.0])])
+        assert "*" in chart
+        assert "* s" in chart
+
+    def test_two_series_distinct_markers(self):
+        chart = ascii_chart(
+            [
+                ("a", [0, 1], [1.0, 2.0]),
+                ("b", [0, 1], [2.0, 1.0]),
+            ]
+        )
+        assert "* a" in chart
+        assert "o b" in chart
+
+    def test_axis_labels(self):
+        chart = ascii_chart(
+            [("s", [0, 10], [0.0, 5.0])], y_label="utility", x_label="users"
+        )
+        assert "utility" in chart
+        assert "users" in chart
+        assert "10" in chart
+
+    def test_extremes_appear_in_y_labels(self):
+        chart = ascii_chart([("s", [0, 1], [2.0, 8.0])])
+        assert "2" in chart
+        assert "8" in chart
+
+    def test_flat_series_padded(self):
+        chart = ascii_chart([("s", [0, 1, 2], [4.0, 4.0, 4.0])])
+        assert "*" in chart  # does not divide by zero
+
+    def test_nan_points_skipped(self):
+        chart = ascii_chart([("s", [0, 1, 2], [1.0, math.nan, 3.0])])
+        assert "*" in chart
+
+    def test_monotone_series_rises_left_to_right(self):
+        chart = ascii_chart([("s", [0, 1], [0.0, 1.0])], width=20, height=6)
+        rows = [l for l in chart.splitlines() if "|" in l]
+        first_row_with_marker = next(i for i, r in enumerate(rows) if "*" in r)
+        last_row_with_marker = max(i for i, r in enumerate(rows) if "*" in r)
+        # Higher values render on earlier (upper) rows; the right-end
+        # point (y=1) must be above the left-end point (y=0).
+        top = rows[first_row_with_marker]
+        bottom = rows[last_row_with_marker]
+        assert top.rindex("*") > bottom.index("*")
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ascii_chart([])
+        with pytest.raises(ConfigurationError):
+            ascii_chart([("s", [0], [1.0, 2.0])])
+        with pytest.raises(ConfigurationError):
+            ascii_chart([("s", [], [])])
+        with pytest.raises(ConfigurationError):
+            ascii_chart([("s", [0], [1.0])], width=5)
+        with pytest.raises(ConfigurationError):
+            ascii_chart([("s", [0], [math.nan])])
+
+
+class TestRenderResult:
+    def _result(self):
+        r = ExperimentResult("figX", "Title", "n", "utility")
+        a = r.new_series("RIT")
+        a.add(10, [1.0])
+        a.add(20, [2.0])
+        b = r.new_series("completion rate")
+        b.add(10, [1.0])
+        b.add(20, [1.0])
+        return r
+
+    def test_header_and_series(self):
+        text = render_result(self._result())
+        assert "figX: Title" in text
+        assert "* RIT" in text
+
+    def test_completion_rate_excluded_by_default(self):
+        text = render_result(self._result())
+        assert "completion rate" not in text
+
+    def test_explicit_series_selection(self):
+        text = render_result(self._result(), series_names=["completion rate"])
+        assert "completion rate" in text

@@ -1,0 +1,61 @@
+"""Tests for the one-command reproduction report."""
+
+import pytest
+
+from repro.simulation.experiments import SMOKE_SCALE
+from repro.simulation.report import FIGURE_SHAPES, ShapeCheck, generate_report
+
+
+class TestGenerateReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return generate_report(
+            scale=SMOKE_SCALE,
+            figures=["fig6b", "fig7b"],
+            rng=5,
+            charts=False,
+        )
+
+    def test_contains_figures_and_summary(self, report):
+        assert "## fig6b" in report
+        assert "## fig7b" in report
+        assert "## Summary" in report
+        assert "shape checks passed" in report
+
+    def test_challenges_included_by_default(self, report):
+        assert "design challenges" in report
+        assert "Fig. 2" in report
+
+    def test_checks_render_as_task_list(self, report):
+        assert "- [x]" in report or "- [ ]" in report
+
+    def test_charts_flag(self):
+        with_charts = generate_report(
+            scale=SMOKE_SCALE, figures=["fig6b"], rng=5, charts=True,
+            include_challenges=False,
+        )
+        assert "* RIT" in with_charts  # chart legend marker
+
+    def test_writes_file(self, tmp_path):
+        path = tmp_path / "report.md"
+        text = generate_report(
+            scale=SMOKE_SCALE, figures=["fig7b"], rng=5, charts=False,
+            include_challenges=False, path=path,
+        )
+        assert path.read_text() == text
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(KeyError):
+            generate_report(scale=SMOKE_SCALE, figures=["fig99"], rng=5)
+
+    def test_figure_registry_is_complete(self):
+        assert set(FIGURE_SHAPES) == {
+            "fig6a", "fig6b", "fig7a", "fig7b", "fig8a", "fig8b", "fig9"
+        }
+
+
+class TestShapeCheck:
+    def test_fields(self):
+        check = ShapeCheck("desc", True)
+        assert check.description == "desc"
+        assert check.passed

@@ -1,0 +1,72 @@
+"""Tests for plain-text result rendering."""
+
+import pytest
+
+from repro.simulation.reporting import (
+    format_comparison_row,
+    format_result,
+    print_result,
+)
+from repro.simulation.results import ExperimentResult
+
+
+def sample_result():
+    r = ExperimentResult("figX", "A title", "n", "utility", config={"reps": 2})
+    a = r.new_series("RIT")
+    a.add(100, [1.0, 2.0])
+    a.add(200, [0.5, 0.7])
+    b = r.new_series("auction phase")
+    b.add(100, [0.9])
+    return r
+
+
+class TestFormatResult:
+    def test_contains_header_and_rows(self):
+        text = format_result(sample_result())
+        assert "figX" in text
+        assert "A title" in text
+        assert "RIT" in text
+        assert "auction phase" in text
+        assert "100" in text and "200" in text
+
+    def test_stderr_shown_for_multi_sample_points(self):
+        text = format_result(sample_result())
+        assert "±" in text
+
+    def test_stderr_suppressed(self):
+        text = format_result(sample_result(), show_stderr=False)
+        assert "±" not in text
+
+    def test_missing_point_renders_dash(self):
+        lines = format_result(sample_result()).splitlines()
+        row_200 = next(l for l in lines if l.startswith("200"))
+        assert "-" in row_200
+
+    def test_series_selection(self):
+        text = format_result(sample_result(), series_names=["RIT"])
+        assert "auction phase" not in text
+
+    def test_large_numbers_have_thousands_separator(self):
+        r = ExperimentResult("f", "t", "x", "y")
+        r.new_series("s").add(1, [123456.0])
+        assert "123,456" in format_result(r)
+
+    def test_nan_rendered(self):
+        r = ExperimentResult("f", "t", "x", "y")
+        r.new_series("s").add(1, [float("nan")])
+        assert "nan" in format_result(r)
+
+    def test_print_result(self, capsys):
+        print_result(sample_result())
+        assert "figX" in capsys.readouterr().out
+
+
+class TestComparisonRow:
+    def test_deviation_wins(self):
+        row = format_comparison_row("case", 1.0, 2.0)
+        assert "DEVIATION WINS" in row
+
+    def test_honesty_holds(self):
+        row = format_comparison_row("case", 2.0, 1.0)
+        assert "honesty holds" in row
+        assert "case" in row

@@ -1,0 +1,98 @@
+"""Tests for result containers."""
+
+import math
+
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.simulation.results import ExperimentResult, Series, SeriesPoint, aggregate
+
+
+class TestAggregate:
+    def test_mean_std_n(self):
+        p = aggregate(3.0, [1.0, 2.0, 3.0])
+        assert p.x == 3.0
+        assert p.mean == pytest.approx(2.0)
+        assert p.std == pytest.approx(1.0)
+        assert p.n == 3
+
+    def test_single_sample_has_zero_std(self):
+        p = aggregate(1.0, [5.0])
+        assert p.std == 0.0
+        assert p.stderr == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            aggregate(1.0, [])
+
+    def test_stderr(self):
+        p = aggregate(0.0, [0.0, 2.0, 0.0, 2.0])
+        assert p.stderr == pytest.approx(p.std / 2.0)
+
+
+class TestSeries:
+    def _series(self, means):
+        s = Series(name="test")
+        for i, m in enumerate(means):
+            s.add(i, [m])
+        return s
+
+    def test_xs_and_means(self):
+        s = self._series([5.0, 3.0, 1.0])
+        assert s.xs == [0, 1, 2]
+        assert s.means == [5.0, 3.0, 1.0]
+
+    def test_value_at(self):
+        s = self._series([5.0, 3.0])
+        assert s.value_at(1) == 3.0
+        with pytest.raises(ConfigurationError):
+            s.value_at(9)
+
+    def test_monotone_decreasing(self):
+        assert self._series([5.0, 3.0, 1.0]).is_monotone("decreasing")
+        assert not self._series([1.0, 3.0]).is_monotone("decreasing")
+
+    def test_monotone_with_tolerance(self):
+        s = self._series([5.0, 5.2, 3.0])
+        assert not s.is_monotone("decreasing")
+        assert s.is_monotone("decreasing", tolerance=0.5)
+
+    def test_monotone_direction_validation(self):
+        with pytest.raises(ConfigurationError):
+            self._series([1.0]).is_monotone("sideways")
+
+    def test_endpoint_trend(self):
+        assert self._series([1.0, 9.0, 4.0]).endpoint_trend() == pytest.approx(3.0)
+        with pytest.raises(ConfigurationError):
+            Series(name="empty").endpoint_trend()
+
+
+class TestExperimentResult:
+    def _result(self):
+        r = ExperimentResult("figX", "Title", "x", "y", config={"a": 1})
+        s = r.new_series("RIT")
+        s.add(1, [2.0, 4.0])
+        s.add(2, [1.0])
+        r.new_series("other").add(1, [0.5])
+        return r
+
+    def test_get(self):
+        r = self._result()
+        assert r.get("RIT").value_at(2) == 1.0
+        with pytest.raises(ConfigurationError):
+            r.get("missing")
+
+    def test_dict_round_trip(self):
+        r = self._result()
+        clone = ExperimentResult.from_dict(r.to_dict())
+        assert clone.experiment_id == r.experiment_id
+        assert clone.config == r.config
+        assert clone.get("RIT").means == r.get("RIT").means
+        assert clone.get("RIT").points[0].n == 2
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "result.json"
+        r = self._result()
+        r.save(path)
+        clone = ExperimentResult.load(path)
+        assert clone.to_dict() == r.to_dict()

@@ -1,0 +1,96 @@
+"""Tests for the repetition runner and metrics."""
+
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.core.rit import RIT
+from repro.core.outcome import MechanismOutcome
+from repro.core.types import Job
+from repro.simulation import metrics
+from repro.simulation.runner import RunMeasurement, run_repetitions
+from repro.workloads.scenarios import paper_scenario
+from repro.workloads.users import UserDistribution
+
+
+def factory(gen):
+    return paper_scenario(
+        150, Job.uniform(3, 10), gen, distribution=UserDistribution(num_types=3)
+    )
+
+
+class TestRunRepetitions:
+    def test_count_and_types(self):
+        mech = RIT(round_budget="until-complete")
+        ms = run_repetitions(mech, factory, reps=3, rng=0)
+        assert len(ms) == 3
+        assert all(isinstance(m, RunMeasurement) for m in ms)
+
+    def test_reps_validation(self):
+        with pytest.raises(ConfigurationError):
+            run_repetitions(RIT(), factory, reps=0, rng=0)
+
+    def test_determinism(self):
+        mech = RIT(round_budget="until-complete")
+        a = run_repetitions(mech, factory, reps=2, rng=5)
+        b = run_repetitions(mech, factory, reps=2, rng=5)
+        assert [m.total_payment for m in a] == [m.total_payment for m in b]
+
+    def test_prefix_stability(self):
+        """Adding repetitions must not change earlier ones."""
+        mech = RIT(round_budget="until-complete")
+        short = run_repetitions(mech, factory, reps=2, rng=5)
+        long = run_repetitions(mech, factory, reps=4, rng=5)
+        assert [m.total_payment for m in short] == [
+            m.total_payment for m in long[:2]
+        ]
+
+    def test_measurement_relationships(self):
+        mech = RIT(round_budget="until-complete")
+        for m in run_repetitions(mech, factory, reps=3, rng=1):
+            if m.completed:
+                assert m.total_payment >= m.total_auction_payment - 1e-9
+                assert m.avg_utility >= m.avg_auction_utility - 1e-12
+                assert m.running_time >= m.auction_running_time
+
+
+class TestMetrics:
+    def _outcome(self):
+        return MechanismOutcome(
+            allocation={1: 2},
+            auction_payments={1: 6.0},
+            payments={1: 7.5, 2: 0.5},
+            completed=True,
+            elapsed_auction=0.25,
+            elapsed_total=0.3,
+        )
+
+    def test_average_utility(self):
+        out = self._outcome()
+        costs = {1: 2.0, 2: 1.0}
+        assert metrics.average_utility(out, costs, 4) == pytest.approx(
+            (8.0 - 4.0) / 4
+        )
+
+    def test_average_auction_utility(self):
+        out = self._outcome()
+        costs = {1: 2.0, 2: 1.0}
+        assert metrics.average_auction_utility(out, costs, 4) == pytest.approx(
+            (6.0 - 4.0) / 4
+        )
+
+    def test_totals_and_times(self):
+        out = self._outcome()
+        assert metrics.total_payment(out) == pytest.approx(8.0)
+        assert metrics.total_auction_payment(out) == pytest.approx(6.0)
+        assert metrics.running_time(out) == pytest.approx(0.3)
+        assert metrics.auction_running_time(out) == pytest.approx(0.25)
+
+    def test_registry_names(self):
+        assert set(metrics.METRICS) == {
+            "avg-utility",
+            "avg-auction-utility",
+            "total-payment",
+            "total-auction-payment",
+            "running-time",
+            "auction-running-time",
+        }

@@ -1,0 +1,98 @@
+"""Tests for the result store and regression comparator."""
+
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.simulation.results import ExperimentResult
+from repro.simulation.store import ResultStore, SeriesDrift, compare_results
+
+
+def make_result(values, experiment_id="figX"):
+    r = ExperimentResult(experiment_id, "t", "x", "y")
+    s = r.new_series("RIT")
+    for x, v in values:
+        s.add(x, [v])
+    return r
+
+
+class TestCompareResults:
+    def test_identical_results_have_no_drift(self):
+        a = make_result([(1, 10.0), (2, 20.0)])
+        b = make_result([(1, 10.0), (2, 20.0)])
+        assert compare_results(a, b) == []
+
+    def test_small_drift_within_tolerance(self):
+        a = make_result([(1, 10.0)])
+        b = make_result([(1, 11.0)])
+        assert compare_results(a, b, tolerance=0.25) == []
+
+    def test_large_drift_reported(self):
+        a = make_result([(1, 10.0)])
+        b = make_result([(1, 20.0)])
+        drifts = compare_results(a, b, tolerance=0.25)
+        assert len(drifts) == 1
+        assert drifts[0].series == "RIT"
+        assert drifts[0].relative == pytest.approx(0.5)
+
+    def test_missing_series_is_full_drift(self):
+        a = make_result([(1, 10.0)])
+        b = ExperimentResult("figX", "t", "x", "y")
+        b.new_series("other").add(1, [5.0])
+        drifts = compare_results(a, b)
+        assert {d.series for d in drifts} == {"RIT", "other"}
+
+    def test_missing_x_is_drift(self):
+        a = make_result([(1, 10.0), (2, 20.0)])
+        b = make_result([(1, 10.0)])
+        drifts = compare_results(a, b)
+        assert [(d.series, d.x) for d in drifts] == [("RIT", 2)]
+
+    def test_mismatched_experiments_rejected(self):
+        with pytest.raises(ConfigurationError):
+            compare_results(make_result([(1, 1.0)]), make_result([(1, 1.0)], "figY"))
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ConfigurationError):
+            compare_results(make_result([(1, 1.0)]), make_result([(1, 1.0)]), tolerance=-1)
+
+
+class TestResultStore:
+    def test_save_load_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path)
+        result = make_result([(1, 10.0)])
+        path = store.save(result, "baseline")
+        assert path.exists()
+        loaded = store.load("figX", "baseline")
+        assert loaded.to_dict() == result.to_dict()
+
+    def test_tags_and_experiments(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.save(make_result([(1, 1.0)]), "a")
+        store.save(make_result([(1, 2.0)]), "b")
+        store.save(make_result([(1, 2.0)], "figY"), "a")
+        assert store.tags("figX") == ["a", "b"]
+        assert store.experiments() == ["figX", "figY"]
+        assert store.tags("unknown") == []
+
+    def test_load_missing_raises(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            ResultStore(tmp_path).load("figX", "nope")
+
+    def test_bad_tag_rejected(self, tmp_path):
+        store = ResultStore(tmp_path)
+        with pytest.raises(ConfigurationError):
+            store.save(make_result([(1, 1.0)]), "../escape")
+
+    def test_check_regression(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.save(make_result([(1, 10.0)]), "baseline")
+        drifts = store.check_regression(make_result([(1, 30.0)]), "baseline")
+        assert len(drifts) == 1
+        clean = store.check_regression(make_result([(1, 10.5)]), "baseline")
+        assert clean == []
+
+
+class TestSeriesDrift:
+    def test_relative_guards_zero(self):
+        drift = SeriesDrift("s", 1.0, 0.0, 0.0)
+        assert drift.relative == 0.0

@@ -1,0 +1,129 @@
+"""Tests for the synthetic social-graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.socialnet.generators import (
+    TWITTER_MEAN_OUT_DEGREE,
+    configuration_model,
+    forest_fire,
+    preferential_attachment,
+    random_graph,
+    twitter_like,
+    watts_strogatz,
+)
+
+
+class TestPreferentialAttachment:
+    def test_node_count(self):
+        g = preferential_attachment(200, edges_per_node=4, rng=0)
+        assert g.num_nodes == 200
+
+    def test_determinism(self):
+        a = preferential_attachment(100, 3, rng=7)
+        b = preferential_attachment(100, 3, rng=7)
+        assert list(a.edges()) == list(b.edges())
+
+    def test_every_node_reachable_from_earlier(self):
+        """Every non-first node has at least one in-edge (an inviter)."""
+        g = preferential_attachment(150, 3, rng=1)
+        for node in range(1, 150):
+            assert g.in_degree(node) >= 1
+
+    def test_heavy_tail(self):
+        """Hubs exist: the max out-degree dwarfs the mean."""
+        g = preferential_attachment(1500, 5, rng=2)
+        stats = g.stats()
+        assert stats.max_out_degree > 4 * stats.mean_out_degree
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            preferential_attachment(0, 3)
+        with pytest.raises(ConfigurationError):
+            preferential_attachment(10, 0)
+
+
+class TestRandomGraph:
+    def test_exact_edge_count(self):
+        g = random_graph(50, 200, rng=0)
+        assert g.num_edges == 200
+
+    def test_zero_edges(self):
+        assert random_graph(5, 0, rng=0).num_edges == 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            random_graph(1, 0)
+        with pytest.raises(ConfigurationError):
+            random_graph(3, -1)
+        with pytest.raises(ConfigurationError):
+            random_graph(3, 7)  # max is 6
+
+
+class TestWattsStrogatz:
+    def test_degree_without_rewiring(self):
+        g = watts_strogatz(30, neighbors=4, rewire_prob=0.0, rng=0)
+        assert all(g.out_degree(u) == 4 for u in g.nodes())
+
+    def test_rewiring_changes_structure(self):
+        a = watts_strogatz(60, 4, 0.0, rng=0)
+        b = watts_strogatz(60, 4, 0.5, rng=0)
+        assert set(a.edges()) != set(b.edges())
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            watts_strogatz(4, neighbors=5)
+        with pytest.raises(ConfigurationError):
+            watts_strogatz(10, 2, rewire_prob=1.5)
+
+
+class TestForestFire:
+    def test_node_count_and_reachability(self):
+        g = forest_fire(120, rng=3)
+        assert g.num_nodes == 120
+        for node in range(1, 120):
+            assert g.in_degree(node) >= 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            forest_fire(0)
+        with pytest.raises(ConfigurationError):
+            forest_fire(10, forward_prob=1.0)
+
+
+class TestConfigurationModel:
+    def test_degrees_close_to_target(self):
+        degrees = [3] * 40
+        g = configuration_model(degrees, rng=0)
+        realized = [g.out_degree(u) for u in g.nodes()]
+        assert sum(realized) >= 0.95 * sum(degrees)
+
+    def test_zero_degree_nodes(self):
+        g = configuration_model([0, 0, 2], rng=0)
+        assert g.out_degree(0) == 0
+        assert g.out_degree(2) == 2
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            configuration_model([1])
+        with pytest.raises(ConfigurationError):
+            configuration_model([-1, 2])
+        with pytest.raises(ConfigurationError):
+            configuration_model([5, 0, 0])  # exceeds n-1
+
+
+class TestTwitterLike:
+    def test_mean_degree_calibration(self):
+        g = twitter_like(2000, rng=0)
+        assert g.stats().mean_out_degree == pytest.approx(
+            TWITTER_MEAN_OUT_DEGREE, rel=0.35
+        )
+
+    def test_custom_mean(self):
+        g = twitter_like(1000, rng=1, mean_out_degree=6.0)
+        assert g.stats().mean_out_degree == pytest.approx(6.0, rel=0.4)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            twitter_like(100, mean_out_degree=0.0)

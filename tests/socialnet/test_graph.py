@@ -1,0 +1,90 @@
+"""Tests for the directed social graph container."""
+
+import pytest
+
+from repro.core.exceptions import GraphError
+from repro.socialnet.graph import SocialGraph
+
+
+class TestConstruction:
+    def test_empty(self):
+        g = SocialGraph(0)
+        assert g.num_nodes == 0
+        assert g.num_edges == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(GraphError):
+            SocialGraph(-1)
+
+    def test_add_edge(self):
+        g = SocialGraph(3)
+        assert g.add_edge(0, 1)
+        assert g.num_edges == 1
+        assert g.has_edge(0, 1)
+        assert not g.has_edge(1, 0)
+
+    def test_parallel_edge_collapsed(self):
+        g = SocialGraph(3)
+        assert g.add_edge(0, 1)
+        assert not g.add_edge(0, 1)
+        assert g.num_edges == 1
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphError):
+            SocialGraph(2).add_edge(1, 1)
+
+    def test_out_of_range_rejected(self):
+        g = SocialGraph(2)
+        with pytest.raises(GraphError):
+            g.add_edge(0, 5)
+        with pytest.raises(GraphError):
+            g.add_edge(-1, 0)
+
+    def test_add_edges_bulk(self):
+        g = SocialGraph(4)
+        added = g.add_edges([(0, 1), (0, 1), (1, 2), (2, 3)])
+        assert added == 3
+        assert g.num_edges == 3
+
+    def test_from_edges(self):
+        g = SocialGraph.from_edges(3, [(0, 1), (1, 2)])
+        assert g.num_edges == 2
+
+
+class TestQueries:
+    def _graph(self):
+        g = SocialGraph(4)
+        g.add_edges([(0, 2), (0, 1), (3, 1)])
+        return g
+
+    def test_successors_sorted(self):
+        assert self._graph().successors(0) == [1, 2]
+
+    def test_predecessors_sorted(self):
+        assert self._graph().predecessors(1) == [0, 3]
+
+    def test_degrees(self):
+        g = self._graph()
+        assert g.out_degree(0) == 2
+        assert g.in_degree(1) == 2
+        assert g.out_degree(2) == 0
+
+    def test_edges_iteration(self):
+        assert list(self._graph().edges()) == [(0, 1), (0, 2), (3, 1)]
+
+    def test_stats(self):
+        stats = self._graph().stats()
+        assert stats.num_nodes == 4
+        assert stats.num_edges == 3
+        assert stats.max_out_degree == 2
+        assert stats.mean_out_degree == pytest.approx(0.75)
+        assert stats.isolated_nodes == 0
+
+    def test_isolated_nodes_counted(self):
+        g = SocialGraph(3)
+        g.add_edge(0, 1)
+        assert g.stats().isolated_nodes == 1
+
+    def test_out_degree_histogram(self):
+        hist = self._graph().out_degree_histogram()
+        assert hist == {2: 1, 0: 2, 1: 1}

@@ -1,0 +1,79 @@
+"""Tests for graph persistence and SNAP loading."""
+
+import pytest
+
+from repro.core.exceptions import GraphError
+from repro.socialnet.generators import preferential_attachment
+from repro.socialnet.io import load_edges, load_snap_edges, save_edges
+
+
+class TestSnapLoader:
+    def test_follower_edges_reversed_into_recruiting(self, tmp_path):
+        path = tmp_path / "snap.txt"
+        path.write_text("# comment\n100 200\n300 200\n")
+        graph, id_map = load_snap_edges(path)
+        # 100 follows 200 -> 200 recruits 100.
+        assert graph.has_edge(id_map[200], id_map[100])
+        assert graph.has_edge(id_map[200], id_map[300])
+        assert graph.num_nodes == 3
+
+    def test_ids_densified_in_file_order(self, tmp_path):
+        path = tmp_path / "snap.txt"
+        path.write_text("7 9\n9 7\n42 7\n")
+        _, id_map = load_snap_edges(path)
+        assert id_map == {7: 0, 9: 1, 42: 2}
+
+    def test_self_loops_skipped(self, tmp_path):
+        path = tmp_path / "snap.txt"
+        path.write_text("5 5\n5 6\n")
+        graph, _ = load_snap_edges(path)
+        assert graph.num_edges == 1
+
+    def test_limit_nodes(self, tmp_path):
+        path = tmp_path / "snap.txt"
+        path.write_text("1 2\n3 4\n1 3\n")
+        graph, id_map = load_snap_edges(path, limit_nodes=2)
+        assert graph.num_nodes == 2
+        assert set(id_map) == {1, 2}
+        assert graph.num_edges == 1  # only the 1-2 edge survives
+
+    def test_malformed_line_rejected(self, tmp_path):
+        path = tmp_path / "snap.txt"
+        path.write_text("1 2 3\n")
+        with pytest.raises(GraphError):
+            load_snap_edges(path)
+
+    def test_non_integer_rejected(self, tmp_path):
+        path = tmp_path / "snap.txt"
+        path.write_text("a b\n")
+        with pytest.raises(GraphError):
+            load_snap_edges(path)
+
+    def test_bad_limit_rejected(self, tmp_path):
+        path = tmp_path / "snap.txt"
+        path.write_text("1 2\n")
+        with pytest.raises(GraphError):
+            load_snap_edges(path, limit_nodes=0)
+
+
+class TestRoundTrip:
+    def test_save_load_preserves_graph(self, tmp_path):
+        graph = preferential_attachment(60, 3, rng=0)
+        path = tmp_path / "graph.txt"
+        save_edges(graph, path)
+        loaded = load_edges(path)
+        assert loaded.num_nodes == graph.num_nodes
+        assert set(loaded.edges()) == set(graph.edges())
+
+    def test_comments_skipped(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("# header\n0 1\n\n1 2\n")
+        graph = load_edges(path)
+        assert graph.num_edges == 2
+        assert graph.num_nodes == 3
+
+    def test_negative_id_rejected(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("-1 2\n")
+        with pytest.raises(GraphError):
+            load_edges(path)

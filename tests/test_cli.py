@@ -1,0 +1,149 @@
+"""Tests for the command-line front-end."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_experiment_defaults(self):
+        args = build_parser().parse_args(["experiment", "fig6a"])
+        assert args.command == "experiment"
+        assert args.id == "fig6a"
+        assert args.scale is None
+        assert args.save is None
+
+    def test_experiment_all(self):
+        args = build_parser().parse_args(["experiment", "all", "--scale", "smoke"])
+        assert args.id == "all"
+        assert args.scale == "smoke"
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+    def test_bounds_defaults(self):
+        args = build_parser().parse_args(["bounds"])
+        assert args.h == 0.8
+        assert args.kmax == 20
+
+    def test_demo_options(self):
+        args = build_parser().parse_args(
+            ["demo", "--users", "50", "--tasks-per-type", "5", "--seed", "1"]
+        )
+        assert (args.users, args.tasks_per_type, args.seed) == (50, 5, 1)
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_challenges(self, capsys):
+        assert main(["challenges"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 2" in out and "Fig. 3" in out
+        assert out.count("DEVIATION WINS") == 2
+
+    def test_bounds(self, capsys):
+        assert main(["bounds", "--tasks", "100", "5000"]) == 0
+        out = capsys.readouterr().out
+        assert "lemma budget" in out
+        assert "5000" in out
+
+    def test_demo(self, capsys):
+        code = main(
+            ["demo", "--users", "200", "--tasks-per-type", "10",
+             "--types", "4", "--seed", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "completed: True" in out
+        assert "tasks allocated: 40" in out
+
+    def test_experiment_smoke(self, capsys, monkeypatch):
+        monkeypatch.setenv("RIT_SCALE", "smoke")
+        assert main(["experiment", "fig6b", "--seed", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "fig6b" in out
+        assert "RIT" in out
+
+    def test_experiment_save(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("RIT_SCALE", "smoke")
+        path = tmp_path / "out.json"
+        assert main(["experiment", "fig7b", "--seed", "4", "--save", str(path)]) == 0
+        payload = json.loads(path.read_text())
+        assert payload["experiment_id"] == "fig7b"
+        assert payload["series"]
+
+    def test_experiment_store_and_baseline(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("RIT_SCALE", "smoke")
+        store = str(tmp_path / "store")
+        assert main(
+            ["experiment", "fig7b", "--seed", "4", "--store", store,
+             "--tag", "base"]
+        ) == 0
+        # Same seed -> identical result -> no drift, exit 0.
+        assert main(
+            ["experiment", "fig7b", "--seed", "4", "--store", store,
+             "--baseline", "base"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "no drift" in out
+        # Different seed + tiny tolerance -> drift, exit 1.
+        assert main(
+            ["experiment", "fig7b", "--seed", "99", "--store", store,
+             "--baseline", "base", "--tolerance", "0.0001"]
+        ) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_experiment_chart_flag(self, monkeypatch, capsys):
+        monkeypatch.setenv("RIT_SCALE", "smoke")
+        assert main(["experiment", "fig6b", "--seed", "4", "--chart"]) == 0
+        out = capsys.readouterr().out
+        assert "* RIT" in out  # chart legend
+
+    def test_report_command(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("RIT_SCALE", "smoke")
+        out_path = tmp_path / "report.md"
+        assert main(
+            ["report", "--seed", "4", "--figures", "fig7b", "--no-charts",
+             "--out", str(out_path)]
+        ) == 0
+        assert out_path.exists()
+        assert "shape checks passed" in out_path.read_text()
+
+    def test_experiment_scale_flag_overrides_env(self, monkeypatch, capsys):
+        monkeypatch.setenv("RIT_SCALE", "paper")  # would be hours if honored
+        assert main(["experiment", "fig8b", "--scale", "smoke", "--seed", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "'scale': 'smoke'" in out
+
+
+class TestDemoExplain:
+    def test_demo_explain(self, capsys):
+        assert main(
+            ["demo", "--users", "150", "--tasks-per-type", "8",
+             "--types", "3", "--seed", "5", "--explain"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert ("COMPLETED" in out) or ("VOID RUN" in out)
+
+
+class TestAudit:
+    def test_audit_runs_and_reports(self, capsys):
+        code = main(
+            ["audit", "--users", "500", "--tasks-per-type", "40",
+             "--types", "3", "--seed", "1", "--reps", "6"]
+        )
+        out = capsys.readouterr().out
+        assert "auditing user" in out
+        assert "all candidates" in out
+        assert code in (0, 2)  # 2 = significant exploit found
+
+    def test_audit_parser_defaults(self):
+        args = build_parser().parse_args(["audit"])
+        assert args.max_capacity == 6
+        assert args.reps == 20

@@ -1,0 +1,55 @@
+"""Documentation guards: the committed docs stay truthful.
+
+* the README quickstart block must execute;
+* every file linked from the README exists;
+* DESIGN.md's experiment index names real bench targets.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def _readme() -> str:
+    return (ROOT / "README.md").read_text()
+
+
+class TestReadmeQuickstart:
+    def test_quickstart_block_executes(self):
+        text = _readme()
+        blocks = re.findall(r"```python\n(.*?)```", text, re.S)
+        assert blocks, "README lost its quickstart code block"
+        # The first python block is the quickstart; print() noise is fine.
+        namespace = {}
+        exec(compile(blocks[0], "<README quickstart>", "exec"), namespace)
+        outcome = namespace["outcome"]
+        assert outcome.completed
+
+    def test_linked_files_exist(self):
+        text = _readme()
+        for target in re.findall(r"\]\(([^)#]+)\)", text):
+            if target.startswith(("http://", "https://")):
+                continue
+            assert (ROOT / target).exists(), f"README links missing file {target}"
+
+
+class TestDesignIndex:
+    def test_bench_targets_exist(self):
+        text = (ROOT / "DESIGN.md").read_text()
+        for ref in set(re.findall(r"`benchmarks/([\w/]+\.py)", text)):
+            assert (ROOT / "benchmarks" / ref).exists(), ref
+
+    def test_paper_check_is_first(self):
+        text = (ROOT / "DESIGN.md").read_text()
+        assert "Paper check" in text.split("##")[0]
+
+
+class TestExperimentsDoc:
+    def test_covers_every_figure(self):
+        text = (ROOT / "EXPERIMENTS.md").read_text()
+        for figure in ("Fig. 6(a)", "Fig. 6(b)", "Fig. 7(a)", "Fig. 7(b)",
+                       "Fig. 8", "Fig. 9", "Fig. 2", "Fig. 3"):
+            assert figure in text, f"EXPERIMENTS.md missing {figure}"

@@ -1,0 +1,48 @@
+"""Smoke tests: every shipped example must run clean and tell its story."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+#: example file -> snippets its output must contain.
+EXPECTATIONS = {
+    "quickstart.py": ["job completed: True", "top solicitors"],
+    "spectrum_sensing.py": ["RIT", "k-th price auction", "referral income"],
+    "darpa_balloon_challenge.py": ["all balloons confirmed: True", "best recruiter"],
+    "sybil_attack_demo.py": ["NOT sybil-proof", "RIT's defenses"],
+    "design_challenges.py": ["DEVIATION WINS", "honesty holds"],
+    "geo_sensing_market.py": ["job completed: True", "per-region market"],
+}
+
+
+def run_example(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, (
+        f"{name} exited {result.returncode}:\n{result.stderr}"
+    )
+    return result.stdout
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTATIONS))
+def test_example_runs_and_reports(name):
+    output = run_example(name)
+    for snippet in EXPECTATIONS[name]:
+        assert snippet in output, (
+            f"{name} output missing {snippet!r}; got:\n{output[:2000]}"
+        )
+
+
+def test_every_example_is_covered():
+    on_disk = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert on_disk == set(EXPECTATIONS), (
+        "examples and test expectations drifted apart"
+    )

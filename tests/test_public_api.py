@@ -1,0 +1,69 @@
+"""Public-API integrity: every exported name resolves, everywhere.
+
+Catches export drift (``__all__`` naming something that was renamed or
+dropped) across the whole package tree, and asserts the headline objects
+stay importable from the top level.
+"""
+
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro",
+    "repro.core",
+    "repro.tree",
+    "repro.socialnet",
+    "repro.attacks",
+    "repro.baselines",
+    "repro.workloads",
+    "repro.simulation",
+    "repro.analysis",
+    "repro.quality",
+]
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_all_names_resolve(package):
+    module = importlib.import_module(package)
+    exported = getattr(module, "__all__", [])
+    assert exported, f"{package} should declare __all__"
+    for name in exported:
+        assert hasattr(module, name), f"{package}.__all__ names missing {name!r}"
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_no_duplicate_exports(package):
+    module = importlib.import_module(package)
+    exported = getattr(module, "__all__", [])
+    assert len(exported) == len(set(exported))
+
+
+def test_every_module_imports():
+    """Import every module in the tree (catches syntax/circular issues in
+    modules no test touches directly)."""
+    failures = []
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        try:
+            importlib.import_module(info.name)
+        except Exception as exc:  # pragma: no cover - failure reporting
+            failures.append((info.name, exc))
+    assert not failures, failures
+
+
+def test_headline_api():
+    from repro import (  # noqa: F401
+        RIT,
+        Ask,
+        IncentiveTree,
+        Job,
+        MechanismOutcome,
+        Population,
+        User,
+        paper_scenario,
+    )
+
+    assert repro.__version__

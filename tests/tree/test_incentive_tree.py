@@ -1,0 +1,221 @@
+"""Tests for the incentive-tree data structure."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.exceptions import TreeError
+from repro.tree.incentive_tree import ROOT, IncentiveTree
+
+
+def chain(n):
+    tree = IncentiveTree()
+    prev = ROOT
+    for i in range(n):
+        tree.attach(i, prev)
+        prev = i
+    return tree
+
+
+def two_level():
+    """root -> {0, 1}; 0 -> {2, 3}; 1 -> {4}."""
+    tree = IncentiveTree()
+    tree.attach(0, ROOT)
+    tree.attach(1, ROOT)
+    tree.attach(2, 0)
+    tree.attach(3, 0)
+    tree.attach(4, 1)
+    return tree
+
+
+class TestAttach:
+    def test_empty_tree(self):
+        tree = IncentiveTree()
+        assert len(tree) == 0
+        assert ROOT in tree
+        assert 0 not in tree
+
+    def test_attach_and_contains(self):
+        tree = IncentiveTree()
+        tree.attach(5, ROOT)
+        assert 5 in tree
+        assert len(tree) == 1
+
+    def test_duplicate_node_rejected(self):
+        tree = IncentiveTree()
+        tree.attach(0, ROOT)
+        with pytest.raises(TreeError):
+            tree.attach(0, ROOT)
+
+    def test_unknown_parent_rejected(self):
+        with pytest.raises(TreeError):
+            IncentiveTree().attach(1, 99)
+
+    def test_negative_node_rejected(self):
+        with pytest.raises(TreeError):
+            IncentiveTree().attach(-5, ROOT)
+
+    def test_children_order_is_insertion_order(self):
+        tree = IncentiveTree()
+        tree.attach(3, ROOT)
+        tree.attach(1, ROOT)
+        tree.attach(2, ROOT)
+        assert tree.children(ROOT) == (3, 1, 2)
+
+
+class TestQueries:
+    def test_parent(self):
+        tree = two_level()
+        assert tree.parent(2) == 0
+        assert tree.parent(0) == ROOT
+        with pytest.raises(TreeError):
+            tree.parent(77)
+
+    def test_depth(self):
+        tree = two_level()
+        assert tree.depth(ROOT) == 0
+        assert tree.depth(0) == 1
+        assert tree.depth(4) == 2
+
+    def test_depths_matches_depth(self):
+        tree = two_level()
+        depths = tree.depths()
+        for node in tree.nodes():
+            assert depths[node] == tree.depth(node)
+
+    def test_ancestors(self):
+        tree = chain(4)
+        assert list(tree.ancestors(3)) == [2, 1, 0]
+        assert list(tree.ancestors(0)) == []
+
+    def test_descendants(self):
+        tree = two_level()
+        assert tree.descendants(0) == {2, 3}
+        assert tree.descendants(4) == set()
+        assert tree.descendants(ROOT) == {0, 1, 2, 3, 4}
+
+    def test_subtree_size(self):
+        tree = two_level()
+        assert tree.subtree_size(0) == 3
+        assert tree.subtree_size(ROOT) == 5
+
+    def test_is_descendant(self):
+        tree = two_level()
+        assert tree.is_descendant(2, of=0)
+        assert tree.is_descendant(2, of=ROOT)
+        assert not tree.is_descendant(2, of=1)
+        assert not tree.is_descendant(0, of=0)
+
+    def test_bfs_order_parents_first(self):
+        tree = two_level()
+        order = tree.bfs_order()
+        pos = {node: i for i, node in enumerate(order)}
+        for node in tree.nodes():
+            parent = tree.parent(node)
+            if parent != ROOT:
+                assert pos[parent] < pos[node]
+
+    def test_max_depth(self):
+        assert chain(5).max_depth() == 5
+        assert IncentiveTree().max_depth() == 0
+
+    def test_children_of_unknown_node_raises(self):
+        with pytest.raises(TreeError):
+            two_level().children(99)
+
+
+class TestMutation:
+    def test_reattach_moves_subtree(self):
+        tree = two_level()
+        tree.reattach(0, 1)
+        assert tree.parent(0) == 1
+        assert tree.depth(2) == 3
+        tree.validate()
+
+    def test_reattach_to_root(self):
+        tree = two_level()
+        tree.reattach(2, ROOT)
+        assert tree.parent(2) == ROOT
+        tree.validate()
+
+    def test_reattach_rejects_cycle(self):
+        tree = two_level()
+        with pytest.raises(TreeError):
+            tree.reattach(0, 2)  # 2 is a descendant of 0
+        with pytest.raises(TreeError):
+            tree.reattach(0, 0)
+
+    def test_reattach_children(self):
+        tree = two_level()
+        tree.reattach_children(0, 1)
+        assert tree.children(0) == ()
+        assert set(tree.children(1)) == {4, 2, 3}
+        tree.validate()
+
+    def test_remove_leaf(self):
+        tree = two_level()
+        tree.remove_leaf(4)
+        assert 4 not in tree
+        assert tree.children(1) == ()
+        tree.validate()
+
+    def test_remove_non_leaf_rejected(self):
+        with pytest.raises(TreeError):
+            two_level().remove_leaf(0)
+
+    def test_remove_unknown_rejected(self):
+        with pytest.raises(TreeError):
+            two_level().remove_leaf(99)
+
+
+class TestSerializationPrimitives:
+    def test_edge_round_trip(self):
+        tree = two_level()
+        rebuilt = IncentiveTree.from_edges(tree.to_edges())
+        assert rebuilt.to_parent_map() == tree.to_parent_map()
+
+    def test_from_edges_out_of_order(self):
+        tree = IncentiveTree.from_edges([(0, 1), (ROOT, 0), (1, 2)])
+        assert tree.depth(2) == 3
+
+    def test_from_edges_orphan_rejected(self):
+        with pytest.raises(TreeError):
+            IncentiveTree.from_edges([(5, 6)])
+
+    def test_parent_map_round_trip(self):
+        tree = two_level()
+        rebuilt = IncentiveTree.from_parent_map(tree.to_parent_map())
+        assert rebuilt.to_parent_map() == tree.to_parent_map()
+
+    def test_copy_is_independent(self):
+        tree = two_level()
+        clone = tree.copy()
+        clone.attach(99, ROOT)
+        assert 99 not in tree
+        assert 99 in clone
+        tree.validate()
+        clone.validate()
+
+
+class TestHypothesis:
+    @given(
+        parents=st.lists(st.integers(min_value=-1, max_value=30), min_size=0, max_size=30),
+    )
+    @settings(max_examples=100)
+    def test_random_recursive_trees_are_consistent(self, parents):
+        tree = IncentiveTree()
+        for node, p in enumerate(parents):
+            parent = ROOT if p < 0 or p >= node else p
+            tree.attach(node, parent)
+        tree.validate()
+        depths = tree.depths()
+        assert len(depths) == len(tree)
+        # Every node's depth is its parent's depth + 1.
+        for node in tree.nodes():
+            parent = tree.parent(node)
+            expected = 1 if parent == ROOT else depths[parent] + 1
+            assert depths[node] == expected
+        # Descendant sets and ancestor chains agree.
+        for node in list(tree.nodes())[:10]:
+            for desc in tree.descendants(node):
+                assert node in list(tree.ancestors(desc))

@@ -1,0 +1,93 @@
+"""Tests for incentive-tree metrics."""
+
+import pytest
+
+from repro.tree.builder import chain_tree, star_tree
+from repro.tree.incentive_tree import ROOT, IncentiveTree
+from repro.tree.metrics import (
+    TreeMetrics,
+    compute_metrics,
+    depth_histogram,
+    referral_weight,
+)
+
+
+def two_level():
+    tree = IncentiveTree()
+    tree.attach(0, ROOT)
+    tree.attach(1, ROOT)
+    tree.attach(2, 0)
+    tree.attach(3, 0)
+    tree.attach(4, 2)
+    return tree
+
+
+class TestDepthHistogram:
+    def test_counts(self):
+        assert depth_histogram(two_level()) == {1: 2, 2: 2, 3: 1}
+
+    def test_empty(self):
+        assert depth_histogram(IncentiveTree()) == {}
+
+    def test_star(self):
+        assert depth_histogram(star_tree(5)) == {1: 5}
+
+
+class TestReferralWeight:
+    def test_depth_one_contributes_nothing(self):
+        assert referral_weight(star_tree(3), 0) == 0.0
+
+    def test_depth_two(self):
+        tree = two_level()
+        assert referral_weight(tree, 2) == pytest.approx(1 * 0.25)
+
+    def test_depth_three(self):
+        tree = two_level()
+        assert referral_weight(tree, 4) == pytest.approx(2 * 0.125)
+
+    def test_weight_vanishes_at_depth(self):
+        tree = chain_tree(100)
+        assert referral_weight(tree, 99) < 1e-20
+
+
+class TestComputeMetrics:
+    def test_two_level_metrics(self):
+        m = compute_metrics(two_level())
+        assert m.num_nodes == 5
+        assert m.height == 3
+        assert m.num_leaves == 3  # 1, 3, 4
+        assert m.num_roots == 2
+        assert m.max_branching == 2
+        assert m.mean_depth == pytest.approx((1 + 1 + 2 + 2 + 3) / 5)
+        assert m.referral_weight_total == pytest.approx(0.25 + 0.25 + 0.25)
+
+    def test_star(self):
+        m = compute_metrics(star_tree(4))
+        assert m.height == 1
+        assert m.num_leaves == 4
+        assert m.num_roots == 4
+        assert m.referral_weight_total == 0.0
+
+    def test_chain(self):
+        m = compute_metrics(chain_tree(4))
+        assert m.height == 4
+        assert m.num_leaves == 1
+        assert m.mean_branching == pytest.approx(1.0)
+
+    def test_empty(self):
+        m = compute_metrics(IncentiveTree())
+        assert m.num_nodes == 0
+        assert m.height == 0
+
+    def test_referral_weight_total_bounds_outlay_share(self):
+        """Σ (r-1)(1/2)^r is each node's max contribution *share*, so the
+        total bounds the referral outlay when every auction payment is
+        equal — sanity-check that accounting on a chain."""
+        from repro.core.payments import tree_payments
+
+        tree = chain_tree(6)
+        pays = {i: 1.0 for i in range(6)}
+        types = {i: i % 2 for i in range(6)}
+        p = tree_payments(tree, pays, types)
+        referral = sum(p.values()) - sum(pays.values())
+        assert referral <= compute_metrics(tree).referral_weight_total + 1e-9

@@ -1,0 +1,72 @@
+"""Tests for tree (de)serialization."""
+
+import json
+
+import pytest
+
+from repro.core.exceptions import TreeError
+from repro.tree.incentive_tree import ROOT, IncentiveTree
+from repro.tree.serialization import (
+    load_tree,
+    save_tree,
+    tree_from_dict,
+    tree_to_dict,
+)
+
+
+def sample_tree():
+    tree = IncentiveTree()
+    tree.attach(0, ROOT)
+    tree.attach(1, 0)
+    tree.attach(2, 0)
+    tree.attach(3, 2)
+    return tree
+
+
+class TestDictRoundTrip:
+    def test_round_trip(self):
+        tree = sample_tree()
+        rebuilt = tree_from_dict(tree_to_dict(tree))
+        assert rebuilt.to_parent_map() == tree.to_parent_map()
+
+    def test_empty_tree(self):
+        rebuilt = tree_from_dict(tree_to_dict(IncentiveTree()))
+        assert len(rebuilt) == 0
+
+    def test_payload_is_json_safe(self):
+        json.dumps(tree_to_dict(sample_tree()))
+
+    def test_bad_version_rejected(self):
+        with pytest.raises(TreeError):
+            tree_from_dict({"version": 99, "edges": []})
+
+    def test_missing_edges_rejected(self):
+        with pytest.raises(TreeError):
+            tree_from_dict({"version": 1})
+
+    def test_malformed_edge_rejected(self):
+        with pytest.raises(TreeError):
+            tree_from_dict({"version": 1, "edges": [[1, 2, 3]]})
+        with pytest.raises(TreeError):
+            tree_from_dict({"version": 1, "edges": [["a", 2]]})
+
+
+class TestFileRoundTrip:
+    def test_save_and_load(self, tmp_path):
+        path = tmp_path / "tree.json"
+        tree = sample_tree()
+        save_tree(tree, path)
+        loaded = load_tree(path)
+        assert loaded.to_parent_map() == tree.to_parent_map()
+
+    def test_load_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(TreeError):
+            load_tree(path)
+
+    def test_load_non_object(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2]")
+        with pytest.raises(TreeError):
+            load_tree(path)

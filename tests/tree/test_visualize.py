@@ -1,0 +1,72 @@
+"""Tests for ASCII tree rendering."""
+
+import pytest
+
+from repro.core.exceptions import TreeError
+from repro.tree.builder import chain_tree, star_tree
+from repro.tree.incentive_tree import ROOT, IncentiveTree
+from repro.tree.visualize import render_subtree, render_tree
+
+
+def two_level():
+    tree = IncentiveTree()
+    tree.attach(0, ROOT)
+    tree.attach(1, ROOT)
+    tree.attach(2, 0)
+    tree.attach(3, 0)
+    return tree
+
+
+class TestRenderTree:
+    def test_contains_all_nodes(self):
+        text = render_tree(two_level())
+        assert text.startswith("platform")
+        for node in (0, 1, 2, 3):
+            assert f"P{node}" in text
+
+    def test_structure_markers(self):
+        text = render_tree(two_level())
+        assert "├─" in text
+        assert "└─" in text
+
+    def test_children_indented_under_parent(self):
+        lines = render_tree(two_level()).splitlines()
+        p0 = next(i for i, l in enumerate(lines) if "P0" in l)
+        p2 = next(i for i, l in enumerate(lines) if "P2" in l)
+        assert p2 > p0
+        indent = lambda s: len(s) - len(s.lstrip(" │"))
+        assert indent(lines[p2]) > indent(lines[p0])
+
+    def test_custom_annotator(self):
+        text = render_tree(two_level(), annotate=lambda n: f"user-{n}!")
+        assert "user-2!" in text
+        assert "P2" not in text
+
+    def test_truncation(self):
+        text = render_tree(chain_tree(50), max_nodes=5)
+        assert "…" in text
+        assert text.count("P") <= 6
+
+    def test_empty_tree(self):
+        assert render_tree(IncentiveTree()) == "platform"
+
+    def test_bad_max_nodes(self):
+        with pytest.raises(TreeError):
+            render_tree(two_level(), max_nodes=0)
+
+    def test_star_tree_flat(self):
+        text = render_tree(star_tree(3))
+        lines = text.splitlines()
+        assert len(lines) == 4  # platform + 3 children
+
+
+class TestRenderSubtree:
+    def test_rooted_at_node(self):
+        text = render_subtree(two_level(), 0)
+        assert text.startswith("P0")
+        assert "P2" in text and "P3" in text
+        assert "P1" not in text
+
+    def test_unknown_node(self):
+        with pytest.raises(TreeError):
+            render_subtree(two_level(), 42)

@@ -1,0 +1,125 @@
+"""Tests for the geographic workload substrate."""
+
+import math
+
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.workloads.geo import (
+    Region,
+    generate_geo_population,
+    generate_regions,
+    job_from_regions,
+)
+
+
+class TestRegion:
+    def test_distance(self):
+        r = Region(center=(0.5, 0.5), radius=0.1, num_pois=10)
+        assert r.distance_to(0.5, 0.5) == 0.0
+        assert r.distance_to(0.5, 0.8) == pytest.approx(0.3)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Region(center=(0, 0), radius=0.0, num_pois=1)
+        with pytest.raises(ConfigurationError):
+            Region(center=(0, 0), radius=0.1, num_pois=-1)
+
+
+class TestGenerateRegions:
+    def test_count_and_bounds(self):
+        regions = generate_regions(6, radius=0.1, rng=0)
+        assert len(regions) == 6
+        for r in regions:
+            assert 0.1 <= r.center[0] <= 0.9
+            assert 0.1 <= r.center[1] <= 0.9
+            assert 20 <= r.num_pois <= 60
+
+    def test_custom_poi_range(self):
+        regions = generate_regions(10, pois_low=5, pois_high=5, rng=1)
+        assert all(r.num_pois == 5 for r in regions)
+
+    def test_determinism(self):
+        a = generate_regions(4, rng=7)
+        b = generate_regions(4, rng=7)
+        assert [r.center for r in a] == [r.center for r in b]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            generate_regions(0)
+        with pytest.raises(ConfigurationError):
+            generate_regions(2, radius=0.6)
+        with pytest.raises(ConfigurationError):
+            generate_regions(2, pois_low=10, pois_high=5)
+
+
+class TestJobFromRegions:
+    def test_counts_follow_pois(self):
+        regions = [
+            Region((0.2, 0.2), 0.1, 7),
+            Region((0.8, 0.8), 0.1, 3),
+        ]
+        job = job_from_regions(regions)
+        assert job.counts == (7, 3)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            job_from_regions([])
+
+
+class TestGeoPopulation:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        regions = generate_regions(4, rng=3)
+        pop = generate_geo_population(regions, 300, rng=4)
+        return regions, pop
+
+    def test_size_and_types(self, setup):
+        regions, pop = setup
+        assert len(pop) == 300
+        assert all(0 <= u.task_type < 4 for u in pop)
+
+    def test_every_type_populated(self, setup):
+        regions, pop = setup
+        types = {u.task_type for u in pop}
+        assert types == {0, 1, 2, 3}
+
+    def test_capacity_and_cost_ranges(self, setup):
+        regions, pop = setup
+        for u in pop:
+            assert 1 <= u.capacity <= 12
+            assert u.cost > 0
+
+    def test_distance_drives_profile(self):
+        """Among users of one region, closer users have weakly higher
+        capacity on average and lower travel cost."""
+        regions = [Region((0.5, 0.5), 0.1, 10)]
+        pop = generate_geo_population(
+            regions, 500, travel_cost=10.0, rng=5
+        )
+        near = [u for u in pop if u.capacity >= 10]
+        far = [u for u in pop if u.capacity <= 3]
+        if near and far:
+            mean = lambda us: sum(u.cost for u in us) / len(us)
+            assert mean(near) < mean(far)
+
+    def test_determinism(self):
+        regions = generate_regions(3, rng=1)
+        a = generate_geo_population(regions, 50, rng=2)
+        b = generate_geo_population(regions, 50, rng=2)
+        assert [u.cost for u in a] == [u.cost for u in b]
+
+    def test_zero_users(self):
+        regions = generate_regions(2, rng=0)
+        assert len(generate_geo_population(regions, 0, rng=0)) == 0
+
+    def test_validation(self):
+        regions = generate_regions(2, rng=0)
+        with pytest.raises(ConfigurationError):
+            generate_geo_population([], 5)
+        with pytest.raises(ConfigurationError):
+            generate_geo_population(regions, -1)
+        with pytest.raises(ConfigurationError):
+            generate_geo_population(regions, 5, max_capacity=0)
+        with pytest.raises(ConfigurationError):
+            generate_geo_population(regions, 5, base_cost=0.0)

@@ -1,0 +1,41 @@
+"""Tests for the job generators."""
+
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.workloads.jobs import random_job, uniform_job
+
+
+class TestUniformJob:
+    def test_paper_default(self):
+        job = uniform_job()
+        assert job.num_types == 10
+        assert job.counts == (5000,) * 10
+
+    def test_custom(self):
+        job = uniform_job(3, 7)
+        assert job.counts == (7, 7, 7)
+
+
+class TestRandomJob:
+    def test_fig9_ranges(self):
+        job = random_job(10, 100, 500, rng=0)
+        assert job.num_types == 10
+        assert all(100 < c <= 500 for c in job.counts)
+
+    def test_determinism(self):
+        assert random_job(5, 10, 50, rng=9).counts == random_job(5, 10, 50, rng=9).counts
+
+    def test_distribution_covers_range(self):
+        seen = set()
+        for seed in range(200):
+            seen.update(random_job(4, 1, 4, rng=seed).counts)
+        assert seen == {2, 3, 4}
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            random_job(0, 1, 5)
+        with pytest.raises(ConfigurationError):
+            random_job(3, 5, 5)
+        with pytest.raises(ConfigurationError):
+            random_job(3, -1, 5)

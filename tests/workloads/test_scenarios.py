@@ -1,0 +1,90 @@
+"""Tests for the bundled scenarios."""
+
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.core.types import Job
+from repro.tree.growth import required_supply
+from repro.workloads.scenarios import (
+    environmental_monitoring,
+    paper_scenario,
+    spectrum_sensing,
+)
+from repro.workloads.users import UserDistribution
+
+
+class TestPaperScenario:
+    def test_basic_shape(self):
+        job = Job.uniform(4, 10)
+        sc = paper_scenario(200, job, rng=0, distribution=UserDistribution(num_types=4))
+        assert sc.num_users == 200
+        assert len(sc.population) == 200
+        assert sc.graph is not None
+        assert sc.job is job
+
+    def test_truthful_asks_cover_tree(self):
+        job = Job.uniform(4, 10)
+        sc = paper_scenario(150, job, rng=1, distribution=UserDistribution(num_types=4))
+        asks = sc.truthful_asks()
+        assert set(asks) == set(sc.tree.nodes())
+        for uid, ask in asks.items():
+            user = sc.population[uid]
+            assert ask.value == user.cost
+            assert ask.capacity == user.capacity
+
+    def test_costs_mapping(self):
+        job = Job.uniform(2, 5)
+        sc = paper_scenario(50, job, rng=2, distribution=UserDistribution(num_types=2))
+        costs = sc.costs()
+        assert len(costs) == 50
+        assert all(c > 0 for c in costs.values())
+
+    def test_determinism(self):
+        job = Job.uniform(2, 5)
+        a = paper_scenario(80, job, rng=3, distribution=UserDistribution(num_types=2))
+        b = paper_scenario(80, job, rng=3, distribution=UserDistribution(num_types=2))
+        assert a.tree.to_parent_map() == b.tree.to_parent_map()
+        assert a.costs() == b.costs()
+
+    def test_supply_threshold_limits_tree(self):
+        job = Job.uniform(3, 5)
+        full = paper_scenario(
+            400, job, rng=4, distribution=UserDistribution(num_types=3)
+        )
+        capped = paper_scenario(
+            400, job, rng=4, distribution=UserDistribution(num_types=3),
+            supply_threshold=True,
+        )
+        assert len(capped.tree) < len(full.tree)
+        # the capped tree satisfies the Remark 6.1 rule for every type.
+        supply = {tau: 0 for tau in job.types()}
+        for node in capped.tree.nodes():
+            user = capped.population[node]
+            supply[user.task_type] += user.capacity
+        for tau, req in required_supply(job).items():
+            assert supply[tau] >= req
+
+    def test_zero_users_rejected(self):
+        with pytest.raises(ConfigurationError):
+            paper_scenario(0, Job([1]), rng=0)
+
+
+class TestDomainScenarios:
+    def test_spectrum_sensing(self):
+        sc = spectrum_sensing(num_users=120, rng=0)
+        assert sc.job.num_types == 2
+        assert sc.name == "spectrum-sensing"
+        assert all(u.capacity <= 5 for u in sc.population)
+
+    def test_environmental_monitoring(self):
+        sc = environmental_monitoring(num_users=150, rng=0)
+        assert sc.job.num_types == 5
+        assert sc.num_users == 150
+
+    def test_healthcare(self):
+        from repro.workloads.scenarios import healthcare
+
+        sc = healthcare(num_users=120, rng=0)
+        assert sc.name == "healthcare"
+        assert sc.job.num_types == 4
+        assert all(u.capacity <= 3 for u in sc.population)
