@@ -2,13 +2,33 @@
 
 PY ?= python
 
-.PHONY: install test bench bench-json smoke paper report examples clean
+.PHONY: install test lint typecheck check bench bench-json smoke paper report examples clean
 
 install:
 	pip install -e .
 
 test:
 	$(PY) -m pytest tests/
+
+# Static analysis: the RIT domain linter always runs; ruff and mypy run
+# where installed (optional dev dependencies) and are skipped otherwise.
+lint:
+	PYTHONPATH=src $(PY) -m repro.devtools.lint src tests benchmarks examples
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests benchmarks examples; \
+	else \
+		echo "ruff not installed; skipping (pip install -e .[dev])"; \
+	fi
+
+typecheck:
+	@if $(PY) -c "import mypy" >/dev/null 2>&1; then \
+		PYTHONPATH=src $(PY) -m mypy; \
+	else \
+		echo "mypy not installed; skipping (pip install -e .[dev])"; \
+	fi
+
+# The full gate new PRs must pass: domain lint + types + tier-1 tests.
+check: lint typecheck test
 
 bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only

@@ -10,6 +10,8 @@ final utilities land near — not exactly on — the paper's 2.39/2.41.
 
 from conftest import run_once
 
+from repro.core.numeric import is_zero
+
 from repro.simulation.experiments import (
     design_challenge_fig2,
     design_challenge_fig3,
@@ -34,6 +36,6 @@ def test_fig3_truthfulness_violation(benchmark):
     print(report.description)
     print(format_comparison_row("utility", report.honest_utility, report.deviant_utility))
     assert report.violated, "the naive combination must fail truthfulness"
-    assert report.honest_utility == 0.0
+    assert is_zero(report.honest_utility)
     # Paper: 2.41; the reconstructed normalizer yields ~2.31.
     assert 2.0 < report.deviant_utility < 3.0

@@ -17,6 +17,8 @@ manipulable geometric chain.
 Run:  python examples/darpa_balloon_challenge.py
 """
 
+import os
+
 import numpy as np
 
 from repro import RIT, Job
@@ -24,7 +26,9 @@ from repro.baselines import mit_referral_rewards
 from repro.workloads import paper_scenario
 from repro.workloads.users import UserDistribution
 
-SEED = 1969  # DARPA's founding year, why not
+# Explicit root seed: every run is a pure function of it.  Override
+# with RIT_SEED=... to explore other instances reproducibly.
+SEED = int(os.environ.get("RIT_SEED", "1969"))
 
 NUM_BALLOONS = 10
 CONFIRMATIONS_PER_BALLOON = 8  # independent sightings wanted per balloon

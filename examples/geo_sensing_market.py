@@ -17,6 +17,8 @@ geometry with :mod:`repro.workloads.geo`:
 Run:  python examples/geo_sensing_market.py
 """
 
+import os
+
 import numpy as np
 
 from repro.core import RIT, AuditedMechanism
@@ -28,7 +30,9 @@ from repro.workloads import (
     job_from_regions,
 )
 
-SEED = 11
+# Explicit root seed: every run is a pure function of it.  Override
+# with RIT_SEED=... to explore other instances reproducibly.
+SEED = int(os.environ.get("RIT_SEED", "11"))
 
 
 def main() -> None:

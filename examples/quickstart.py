@@ -14,9 +14,13 @@ This walks the full pipeline of the paper:
 Run:  python examples/quickstart.py
 """
 
+import os
+
 from repro import RIT, Job, paper_scenario
 
-SEED = 7
+# Explicit root seed: every run is a pure function of it.  Override
+# with RIT_SEED=... to explore other instances reproducibly.
+SEED = int(os.environ.get("RIT_SEED", "7"))
 
 
 def main() -> None:

@@ -14,13 +14,17 @@ without exceeding twice the auction expenditure.
 Run:  python examples/spectrum_sensing.py
 """
 
+import os
+
 import numpy as np
 
 from repro import RIT
 from repro.baselines import KthPriceAuction
 from repro.workloads import spectrum_sensing
 
-SEED = 21
+# Explicit root seed: every run is a pure function of it.  Override
+# with RIT_SEED=... to explore other instances reproducibly.
+SEED = int(os.environ.get("RIT_SEED", "21"))
 
 
 def describe(label, outcome, costs, num_users):

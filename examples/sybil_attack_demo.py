@@ -13,6 +13,8 @@ Fig. 9 experiment in miniature.
 Run:  python examples/sybil_attack_demo.py
 """
 
+import os
+
 import numpy as np
 
 from repro import RIT
@@ -23,7 +25,9 @@ from repro.tree import IncentiveTree, ROOT
 from repro.workloads import paper_scenario
 from repro.workloads.users import UserDistribution
 
-SEED = 5
+# Explicit root seed: every run is a pure function of it.  Override
+# with RIT_SEED=... to explore other instances reproducibly.
+SEED = int(os.environ.get("RIT_SEED", "5"))
 
 
 def part1_darpa() -> None:

@@ -40,6 +40,7 @@ class AuctionOnly(Mechanism):
     ) -> MechanismOutcome:
         t_start = time.perf_counter()
         outcome = self.inner.run(job, asks, tree, rng)
-        outcome.payments = dict(outcome.auction_payments)
-        outcome.elapsed_total = time.perf_counter() - t_start
-        return outcome
+        return outcome.finalize(
+            payments=dict(outcome.auction_payments),
+            elapsed_total=time.perf_counter() - t_start,
+        )

@@ -70,8 +70,7 @@ class NaiveComboMechanism(Mechanism):
         t_start = time.perf_counter()
         inner = self.auction.run(job, asks, tree, rng)
         if not inner.completed:
-            inner.elapsed_total = time.perf_counter() - t_start
-            return inner
+            return inner.finalize(elapsed_total=time.perf_counter() - t_start)
         rewards = self.reward_function(tree, inner.payments)
         outcome = MechanismOutcome(
             allocation=dict(inner.allocation),

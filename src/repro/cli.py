@@ -10,6 +10,8 @@ Subcommands
 ``rit bounds``            print the Lemma 6.2 bound / round-budget table
                           for a given configuration.
 ``rit demo``              run one end-to-end scenario and print a summary.
+``rit lint``              run the AST-based domain linter over the tree
+                          (also: ``python -m repro.devtools.lint``).
 """
 
 from __future__ import annotations
@@ -121,6 +123,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="audit a victim with at most this capacity (the guarantee "
         "regime needs K_j << m_i; see EXPERIMENTS.md)",
     )
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="run the RIT domain linter (RIT001-RIT006 invariants)",
+    )
+    from repro.devtools.lint.cli import add_arguments as _add_lint_arguments
+
+    _add_lint_arguments(p_lint)
 
     p_demo = sub.add_parser("demo", help="run one end-to-end scenario")
     p_demo.add_argument("--users", type=int, default=1000)
@@ -301,6 +311,12 @@ def _cmd_audit(args: argparse.Namespace) -> int:
     return 0 if not summary.significant else 2
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.devtools.lint.cli import run as run_lint
+
+    return run_lint(args)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -310,6 +326,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "demo": _cmd_demo,
         "report": _cmd_report,
         "audit": _cmd_audit,
+        "lint": _cmd_lint,
     }
     return handlers[args.command](args)
 

@@ -9,6 +9,7 @@ Submodules
 ``extract``    Algorithm 2 (unit-ask extraction)
 ``cra``        Algorithm 1 (collusion-resistant auction round)
 ``payments``   Algorithm 3 payment determination phase
+``numeric``    tolerant float comparison for monetary quantities
 ``rit``        Algorithm 3 (the full RIT mechanism)
 ``outcome``    mechanism outcome containers and utility accounting
 ``mechanism``  abstract mechanism interface
@@ -36,6 +37,13 @@ from repro.core.exceptions import (
 )
 from repro.core.extract import UnitAsks, extract
 from repro.core.mechanism import Mechanism
+from repro.core.numeric import (
+    PAYMENT_ATOL,
+    PAYMENT_RTOL,
+    close,
+    is_zero,
+    payments_close,
+)
 from repro.core.outcome import MechanismOutcome, RoundRecord
 from repro.core.payments import DEFAULT_DECAY, tree_payments, tree_payments_naive
 from repro.core.rit import BUDGET_POLICIES, RIT
@@ -61,6 +69,11 @@ __all__ = [
     "tree_payments",
     "tree_payments_naive",
     "DEFAULT_DECAY",
+    "PAYMENT_ATOL",
+    "PAYMENT_RTOL",
+    "close",
+    "is_zero",
+    "payments_close",
     "cra_truthful_probability",
     "max_rounds",
     "min_unit_asks",

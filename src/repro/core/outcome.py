@@ -13,8 +13,8 @@ scenarios, utilities of all identities of a physical user are summed by
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Mapping, Optional
 
 from repro.core.exceptions import ModelError
 from repro.core.types import Job
@@ -35,9 +35,15 @@ class RoundRecord:
     overflow_trimmed: bool
 
 
-@dataclass
+@dataclass(frozen=True)
 class MechanismOutcome:
     """Result of running an incentive mechanism.
+
+    Instances are frozen: an outcome is the mechanism's final word, and the
+    truthfulness/sybil-proofness evaluations compare outcome objects across
+    scenario pairs, so post-hoc mutation would silently invalidate them
+    (lint rule RIT003).  Use :func:`dataclasses.replace` (or
+    :meth:`finalize` / :meth:`void`) to derive amended copies.
 
     Attributes
     ----------
@@ -142,7 +148,26 @@ class MechanismOutcome:
                 out[pid] = delta
         return out
 
-    def void(self) -> "MechanismOutcome":
+    def finalize(
+        self,
+        *,
+        payments: Optional[Dict[int, float]] = None,
+        elapsed_total: Optional[float] = None,
+    ) -> "MechanismOutcome":
+        """Derived copy with final payments and/or total elapsed time.
+
+        The payment-determination phase runs after the outcome's auction
+        fields are fixed; since outcomes are frozen, the phase returns an
+        amended copy instead of assigning attributes.
+        """
+        changes: Dict[str, object] = {}
+        if payments is not None:
+            changes["payments"] = payments
+        if elapsed_total is not None:
+            changes["elapsed_total"] = elapsed_total
+        return replace(self, **changes)  # type: ignore[arg-type]
+
+    def void(self, *, elapsed_total: Optional[float] = None) -> "MechanismOutcome":
         """Return a voided copy (Algorithm 3 line 27): x = 0, p = 0."""
         return MechanismOutcome(
             allocation={},
@@ -151,7 +176,9 @@ class MechanismOutcome:
             completed=False,
             rounds=list(self.rounds),
             elapsed_auction=self.elapsed_auction,
-            elapsed_total=self.elapsed_total,
+            elapsed_total=(
+                self.elapsed_total if elapsed_total is None else elapsed_total
+            ),
         )
 
     def check_covers(self, job: Job) -> bool:

@@ -236,16 +236,15 @@ class RIT(Mechanism):
                     "auction phase could not allocate every task within the "
                     f"round budget (policy={self.round_budget!r})"
                 )
-            voided = outcome.void()
-            voided.elapsed_total = time.perf_counter() - t_start
-            return voided
+            return outcome.void(elapsed_total=time.perf_counter() - t_start)
 
         # Payment determination phase (lines 22-25).
         types = {uid: ask.task_type for uid, ask in asks.items()}
         payments = tree_payments(tree, auction_payments, types, decay=self.decay)
-        outcome.payments = {uid: p for uid, p in payments.items() if p != 0.0}
-        outcome.elapsed_total = time.perf_counter() - t_start
-        return outcome
+        return outcome.finalize(
+            payments={uid: p for uid, p in payments.items() if p != 0.0},
+            elapsed_total=time.perf_counter() - t_start,
+        )
 
     # ------------------------------------------------------------------ #
     # Internals

@@ -1,0 +1,16 @@
+"""Developer tooling for the RIT reproduction.
+
+``repro.devtools`` hosts machinery that checks the *codebase* rather than
+the mechanism: currently the ``rit lint`` static analyzer
+(:mod:`repro.devtools.lint`), which enforces the repository's correctness
+invariants — threaded RNG, tolerant monetary comparison, frozen outcomes,
+export hygiene, deterministic core, explicit error handling — on every
+source tree it is pointed at.
+
+Nothing in this package is imported by the mechanism code; it depends only
+on the standard library so it can lint a broken tree.
+"""
+
+from repro.devtools.lint import Finding, LintReport, lint_paths
+
+__all__ = ["Finding", "LintReport", "lint_paths"]

@@ -1,0 +1,46 @@
+"""``rit lint`` — AST-based domain linter for the RIT reproduction.
+
+Six rules encode the invariants the paper's guarantees lean on:
+
+========  =======================  ==========================================
+RIT001    unseeded-randomness      no global/unseeded RNG in mechanism paths
+RIT002    raw-float-equality       monetary ==/!= must use repro.core.numeric
+RIT003    frozen-instance-         no attribute assignment on frozen core
+          mutation                 value objects / outcomes
+RIT004    export-drift             __all__ matches the bound public surface
+RIT005    hidden-inputs            no wall-clock/env reads in repro.core
+RIT006    swallowed-exceptions     no bare/pass-only handlers in core+attacks
+========  =======================  ==========================================
+
+Suppress a single finding with ``# rit: noqa[RIT00X]`` on the offending
+line.  See ``docs/static_analysis.md`` for per-rule bad/good examples.
+"""
+
+from repro.devtools.lint.cli import main
+from repro.devtools.lint.context import FileContext, build_context, module_for_path
+from repro.devtools.lint.engine import (
+    iter_python_files,
+    lint_file,
+    lint_paths,
+    lint_source,
+)
+from repro.devtools.lint.model import Finding, LintReport, Severity
+from repro.devtools.lint.rules import ALL_RULES, RULES_BY_ID, Rule, resolve_rules
+
+__all__ = [
+    "main",
+    "FileContext",
+    "build_context",
+    "module_for_path",
+    "iter_python_files",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "Finding",
+    "LintReport",
+    "Severity",
+    "ALL_RULES",
+    "RULES_BY_ID",
+    "Rule",
+    "resolve_rules",
+]

@@ -1,0 +1,123 @@
+"""Command-line front-end for the RIT domain linter.
+
+Invoked as ``rit lint ...`` (subcommand of :mod:`repro.cli`) or directly
+as ``python -m repro.devtools.lint``.
+
+Exit codes: ``0`` clean tree, ``1`` findings, ``2`` usage error (unknown
+rule id, missing path).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.devtools.lint.engine import lint_paths
+from repro.devtools.lint.rules import ALL_RULES, resolve_rules
+
+__all__ = ["add_arguments", "run", "build_parser", "main"]
+
+DEFAULT_PATHS = ("src", "tests", "benchmarks", "examples")
+
+
+def add_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach lint options to a parser (shared with the ``rit`` CLI)."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=None,
+        help="files or directories to lint (default: src tests benchmarks "
+        "examples, where present)",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        default=None,
+        metavar="RULES",
+        help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        dest="output_format",
+        help="findings output format",
+    )
+    parser.add_argument(
+        "--statistics",
+        action="store_true",
+        help="append per-rule finding counts",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="describe the registered rules and exit",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="rit lint",
+        description="AST-based domain linter enforcing RIT's correctness "
+        "invariants (threaded RNG, tolerant float comparison, frozen "
+        "outcomes, export hygiene, deterministic core, explicit errors)",
+    )
+    add_arguments(parser)
+    return parser
+
+
+def _split_rule_list(raw: Optional[str]) -> List[str]:
+    if not raw:
+        return []
+    return [part.strip() for part in raw.split(",") if part.strip()]
+
+
+def run(args: argparse.Namespace) -> int:
+    """Execute a lint run described by parsed arguments."""
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.id}  {rule.name}")
+            print(f"        {rule.rationale}")
+            scope = ", ".join(rule.scopes) if rule.scopes else "all files"
+            print(f"        scope: {scope}")
+        return 0
+
+    try:
+        rules = resolve_rules(
+            _split_rule_list(args.select), _split_rule_list(args.ignore)
+        )
+    except KeyError as exc:
+        print(f"rit lint: unknown rule id {exc.args[0]!r}", file=sys.stderr)
+        return 2
+
+    paths = args.paths or [p for p in DEFAULT_PATHS if Path(p).is_dir()]
+    if not paths:
+        print("rit lint: no paths given and no default directories found",
+              file=sys.stderr)
+        return 2
+    try:
+        report = lint_paths(paths, rules)
+    except FileNotFoundError as exc:
+        print(f"rit lint: {exc}", file=sys.stderr)
+        return 2
+
+    if args.output_format == "json":
+        print(report.format_json())
+    else:
+        print(report.format_text(statistics=args.statistics))
+    return 1 if report else 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    return run(build_parser().parse_args(argv))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,122 @@
+"""The lint engine: file discovery, rule dispatch, suppression filtering.
+
+The engine walks the given paths, parses each Python file once into a
+:class:`~repro.devtools.lint.context.FileContext`, runs every in-scope
+rule over it and filters the findings through the file's ``# rit: noqa``
+suppressions.  Directories named in :data:`EXCLUDED_DIR_NAMES` (caches,
+build output, lint *fixtures*) are skipped during discovery — but a file
+named explicitly on the command line is always linted, which is how the
+fixture tests exercise deliberately-broken snippets.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+from repro.devtools.lint.context import FileContext, build_context
+from repro.devtools.lint.model import PARSE_ERROR_ID, Finding, LintReport, Severity
+from repro.devtools.lint.rules import ALL_RULES, Rule
+
+__all__ = ["EXCLUDED_DIR_NAMES", "iter_python_files", "lint_file", "lint_source", "lint_paths"]
+
+#: Directory names never descended into during discovery.
+EXCLUDED_DIR_NAMES = frozenset(
+    {
+        "__pycache__",
+        ".git",
+        ".hypothesis",
+        ".pytest_cache",
+        ".mypy_cache",
+        ".ruff_cache",
+        "build",
+        "dist",
+        "fixtures",
+        "node_modules",
+        ".venv",
+    }
+)
+
+
+def _excluded(relative_parts: Sequence[str]) -> bool:
+    return any(
+        part in EXCLUDED_DIR_NAMES or part.endswith(".egg-info")
+        for part in relative_parts
+    )
+
+
+def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
+    """Yield every lintable ``.py`` file under ``paths``, deduplicated.
+
+    Explicit file arguments bypass the exclusion list; directories are
+    walked recursively with excluded directories pruned.
+    """
+    seen = set()
+    for path in paths:
+        path = Path(path)
+        if path.is_file():
+            resolved = path.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                yield path
+        elif path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                if _excluded(candidate.relative_to(path).parts[:-1]):
+                    continue
+                resolved = candidate.resolve()
+                if resolved not in seen:
+                    seen.add(resolved)
+                    yield candidate
+        else:
+            raise FileNotFoundError(f"no such file or directory: {path}")
+
+
+def _run_rules(ctx: FileContext, rules: Sequence[Rule]) -> List[Finding]:
+    findings: List[Finding] = []
+    for rule in rules:
+        if not rule.applies(ctx):
+            continue
+        for finding in rule.check(ctx):
+            if not ctx.is_suppressed(finding.line, finding.rule_id):
+                findings.append(finding)
+    return findings
+
+
+def lint_file(path: Path, rules: Optional[Sequence[Rule]] = None) -> List[Finding]:
+    """Lint one file, returning its findings (``RIT000`` on parse errors)."""
+    try:
+        ctx = build_context(Path(path))
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=str(path),
+                line=exc.lineno or 1,
+                column=(exc.offset or 1),
+                rule_id=PARSE_ERROR_ID,
+                message=f"file does not parse: {exc.msg}",
+                severity=Severity.ERROR,
+            )
+        ]
+    return _run_rules(ctx, ALL_RULES if rules is None else rules)
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    rules: Optional[Sequence[Rule]] = None,
+) -> List[Finding]:
+    """Lint in-memory source (tests and tooling); path is display-only."""
+    ctx = build_context(Path(path), source=source)
+    return _run_rules(ctx, ALL_RULES if rules is None else rules)
+
+
+def lint_paths(
+    paths: Iterable[Path],
+    rules: Optional[Sequence[Rule]] = None,
+) -> LintReport:
+    """Lint every Python file under ``paths`` into one :class:`LintReport`."""
+    report = LintReport()
+    for path in iter_python_files(Path(p) for p in paths):
+        report.extend(lint_file(path, rules))
+        report.files_checked += 1
+    return report

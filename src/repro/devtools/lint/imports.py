@@ -1,0 +1,77 @@
+"""Lightweight import resolution for lint rules.
+
+Rules like RIT001 (RNG discipline) and RIT005 (wall-clock/env reads) need
+to know what a dotted expression such as ``np.random.default_rng`` or
+``datetime.now`` actually refers to, regardless of local aliasing.  The
+:class:`ImportMap` records every ``import`` / ``from ... import`` binding
+in a file (at any nesting level) and resolves attribute chains back to
+fully-qualified dotted names.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional
+
+__all__ = ["ImportMap"]
+
+
+class ImportMap:
+    """Maps local names to the fully-qualified modules/objects they denote."""
+
+    def __init__(self) -> None:
+        #: local alias -> imported module path (``import numpy as np``)
+        self.modules: Dict[str, str] = {}
+        #: local alias -> imported object path (``from os import getenv``)
+        self.names: Dict[str, str] = {}
+
+    @classmethod
+    def collect(cls, tree: ast.AST) -> "ImportMap":
+        imports = cls()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else alias.name.split(".")[0]
+                    imports.modules[local] = target
+            elif isinstance(node, ast.ImportFrom):
+                if node.module is None or node.level:
+                    continue  # relative imports never reach numpy/os/time
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    imports.names[local] = f"{node.module}.{alias.name}"
+        return imports
+
+    @staticmethod
+    def _attribute_chain(node: ast.expr) -> Optional[List[str]]:
+        chain: List[str] = []
+        current = node
+        while isinstance(current, ast.Attribute):
+            chain.append(current.attr)
+            current = current.value
+        if not isinstance(current, ast.Name):
+            return None
+        chain.append(current.id)
+        chain.reverse()
+        return chain
+
+    def resolve(self, node: ast.expr) -> Optional[str]:
+        """Fully-qualified dotted path of a Name/Attribute chain, if imported.
+
+        ``np.random.rand`` (with ``import numpy as np``) resolves to
+        ``numpy.random.rand``; ``default_rng`` (with ``from numpy.random
+        import default_rng``) resolves to ``numpy.random.default_rng``.
+        Returns ``None`` for chains not rooted in an import (e.g. local
+        variables, ``self`` attributes).
+        """
+        chain = self._attribute_chain(node)
+        if not chain:
+            return None
+        head, rest = chain[0], chain[1:]
+        if head in self.modules:
+            return ".".join([self.modules[head]] + rest)
+        if head in self.names:
+            return ".".join([self.names[head]] + rest)
+        return None

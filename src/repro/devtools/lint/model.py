@@ -1,0 +1,120 @@
+"""Findings and reporting model for ``rit lint``.
+
+A :class:`Finding` is one rule violation at one source location; a
+:class:`LintReport` is the ordered collection the engine hands back to the
+CLI / tests.  Keeping the model free of any engine or rule imports lets
+rule modules depend on it without cycles.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Iterable, Iterator, List, Tuple
+
+__all__ = ["Severity", "Finding", "LintReport", "PARSE_ERROR_ID"]
+
+#: Pseudo-rule id attached to findings for files the engine cannot parse.
+PARSE_ERROR_ID = "RIT000"
+
+
+class Severity(Enum):
+    """How bad a finding is.
+
+    ``ERROR`` findings are correctness hazards and fail the run; ``WARNING``
+    findings are reported but (under ``--errors-only``) do not affect the
+    exit code.
+    """
+
+    WARNING = "warning"
+    ERROR = "error"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    column: int
+    rule_id: str
+    message: str
+    severity: Severity = Severity.ERROR
+
+    def format(self) -> str:
+        """Render as ``path:line:col: RULE message`` (clickable in editors)."""
+        return (
+            f"{self.path}:{self.line}:{self.column}: "
+            f"{self.rule_id} {self.message}"
+        )
+
+    @property
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.column, self.rule_id)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "rule": self.rule_id,
+            "message": self.message,
+            "severity": self.severity.value,
+        }
+
+
+@dataclass
+class LintReport:
+    """All findings of one lint run, plus simple accounting."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_checked: int = 0
+
+    def extend(self, findings: Iterable[Finding]) -> None:
+        self.findings.extend(findings)
+
+    def sorted(self) -> List[Finding]:
+        return sorted(self.findings, key=lambda f: f.sort_key)
+
+    def __iter__(self) -> Iterator[Finding]:
+        return iter(self.sorted())
+
+    def __len__(self) -> int:
+        return len(self.findings)
+
+    def __bool__(self) -> bool:
+        return bool(self.findings)
+
+    @property
+    def error_count(self) -> int:
+        return sum(1 for f in self.findings if f.severity is Severity.ERROR)
+
+    def by_rule(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule_id] = counts.get(finding.rule_id, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def format_text(self, *, statistics: bool = False) -> str:
+        lines = [f.format() for f in self.sorted()]
+        if statistics and self.findings:
+            lines.append("")
+            for rule_id, count in self.by_rule().items():
+                lines.append(f"{count:>5}  {rule_id}")
+        summary = (
+            f"{len(self.findings)} finding(s) in {self.files_checked} file(s)"
+            if self.findings
+            else f"clean: {self.files_checked} file(s) checked"
+        )
+        lines.append(summary)
+        return "\n".join(lines)
+
+    def format_json(self) -> str:
+        return json.dumps(
+            {
+                "files_checked": self.files_checked,
+                "findings": [f.to_dict() for f in self.sorted()],
+            },
+            indent=2,
+        )

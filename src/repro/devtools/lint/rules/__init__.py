@@ -1,0 +1,59 @@
+"""Rule registry for ``rit lint``.
+
+Every rule module registers exactly one :class:`~repro.devtools.lint.rules
+.base.Rule` subclass here.  The registry is the single source of truth for
+``--select`` / ``--ignore`` resolution and ``--list-rules`` output.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.devtools.lint.rules.base import Rule
+from repro.devtools.lint.rules.rit001_rng import UnseededRandomness
+from repro.devtools.lint.rules.rit002_float_eq import RawFloatEquality
+from repro.devtools.lint.rules.rit003_frozen import FrozenInstanceMutation
+from repro.devtools.lint.rules.rit004_exports import ExportDrift
+from repro.devtools.lint.rules.rit005_wallclock import HiddenInputs
+from repro.devtools.lint.rules.rit006_exceptions import SwallowedExceptions
+
+__all__ = [
+    "Rule",
+    "ALL_RULES",
+    "RULES_BY_ID",
+    "resolve_rules",
+    "UnseededRandomness",
+    "RawFloatEquality",
+    "FrozenInstanceMutation",
+    "ExportDrift",
+    "HiddenInputs",
+    "SwallowedExceptions",
+]
+
+ALL_RULES: Tuple[Rule, ...] = (
+    UnseededRandomness(),
+    RawFloatEquality(),
+    FrozenInstanceMutation(),
+    ExportDrift(),
+    HiddenInputs(),
+    SwallowedExceptions(),
+)
+
+RULES_BY_ID: Dict[str, Rule] = {rule.id: rule for rule in ALL_RULES}
+
+
+def resolve_rules(
+    select: Sequence[str] = (),
+    ignore: Sequence[str] = (),
+) -> List[Rule]:
+    """The active rule set for a run.
+
+    Raises :class:`KeyError` naming the offending id when a selector does
+    not match any registered rule.
+    """
+    for rule_id in list(select) + list(ignore):
+        if rule_id.upper() not in RULES_BY_ID:
+            raise KeyError(rule_id)
+    selected = {r.upper() for r in select} or set(RULES_BY_ID)
+    selected -= {r.upper() for r in ignore}
+    return [rule for rule in ALL_RULES if rule.id in selected]

@@ -1,0 +1,113 @@
+"""RIT001 — unseeded or module-level randomness in mechanism code.
+
+Every randomized component of the library draws from a
+``numpy.random.Generator`` threaded in explicitly (see
+:mod:`repro.core.rng`).  The paired-seed attack evaluation (Fig. 9) and
+the golden-result regression tests are only meaningful if a run is a pure
+function of its seed, so mechanism code must never:
+
+* call the legacy module-level numpy API (``np.random.rand`` /
+  ``np.random.seed`` / ``np.random.shuffle`` ...), which mutates hidden
+  global state shared across threads;
+* construct ``np.random.default_rng()`` with *no* argument, which seeds
+  from OS entropy and makes the run irreproducible;
+* use the stdlib ``random`` module, whose global Mersenne-Twister state is
+  another hidden input.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.lint.context import FileContext
+from repro.devtools.lint.imports import ImportMap
+from repro.devtools.lint.model import Finding
+from repro.devtools.lint.rules.base import Rule
+
+__all__ = ["UnseededRandomness"]
+
+#: numpy.random members that are fine to *construct* — they are explicit
+#: generator/seed objects, not calls into hidden global state.
+_NUMPY_OK = {
+    "default_rng",  # checked separately: must receive a seed argument
+    "Generator",
+    "SeedSequence",
+    "BitGenerator",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "SFC64",
+    "MT19937",
+}
+
+
+class UnseededRandomness(Rule):
+    id = "RIT001"
+    name = "unseeded-randomness"
+    rationale = (
+        "mechanism code must thread an explicit np.random.Generator; global "
+        "or unseeded RNG breaks paired-seed attack evaluation"
+    )
+    scopes = ("repro", "examples", "benchmarks")
+    exempt = ("repro.devtools",)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        imports = ImportMap.collect(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.Import, ast.ImportFrom)):
+                yield from self._check_import(ctx, node)
+            elif isinstance(node, ast.Call):
+                yield from self._check_call(ctx, node, imports)
+
+    def _check_import(
+        self, ctx: FileContext, node: ast.AST
+    ) -> Iterator[Finding]:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "random" or alias.name.startswith("random."):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "stdlib 'random' uses hidden global state; thread a "
+                        "numpy Generator (repro.core.rng) instead",
+                    )
+        elif isinstance(node, ast.ImportFrom):
+            if node.level == 0 and node.module == "random":
+                yield self.finding(
+                    ctx,
+                    node,
+                    "stdlib 'random' uses hidden global state; thread a "
+                    "numpy Generator (repro.core.rng) instead",
+                )
+
+    def _check_call(
+        self, ctx: FileContext, node: ast.Call, imports: ImportMap
+    ) -> Iterator[Finding]:
+        resolved = imports.resolve(node.func)
+        if resolved is None:
+            return
+        if resolved.startswith("numpy.random."):
+            member = resolved[len("numpy.random."):]
+            if member == "default_rng":
+                if not node.args and not node.keywords:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "np.random.default_rng() without a seed draws OS "
+                        "entropy; pass a seed or accept a Generator parameter",
+                    )
+            elif "." not in member and member not in _NUMPY_OK:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"np.random.{member} uses the global numpy RNG; use a "
+                    "threaded np.random.Generator instead",
+                )
+        elif resolved == "random" or resolved.startswith("random."):
+            yield self.finding(
+                ctx,
+                node,
+                f"stdlib call {resolved}() uses hidden global state; use a "
+                "threaded np.random.Generator instead",
+            )

@@ -1,0 +1,113 @@
+"""RIT002 — raw float equality on monetary quantities.
+
+Payments, utilities and asks are floats built from sums of decay-weighted
+products; two mathematically equal quantities routinely differ in the last
+ulps depending on summation order.  Comparing them with ``==`` / ``!=``
+makes truthfulness checks platform- and order-dependent.  Use the
+tolerance helpers in :mod:`repro.core.numeric` (``close``, ``is_zero``,
+``payments_close``) instead.
+
+The rule fires when an ``==`` / ``!=`` operand's *head identifier* — the
+attribute, function or variable name the value is drawn from — contains a
+monetary word (payment, utility, price, ask, bid, reward, ...).  Integer
+quantities like ``task_type`` or counts never match.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from repro.devtools.lint.context import FileContext
+from repro.devtools.lint.model import Finding
+from repro.devtools.lint.rules.base import Rule
+
+__all__ = ["RawFloatEquality", "MONETARY_WORDS"]
+
+#: Words (after snake/camel splitting) that mark an identifier as monetary.
+MONETARY_WORDS = frozenset(
+    {
+        "payment",
+        "payments",
+        "pay",
+        "payout",
+        "utility",
+        "utilities",
+        "price",
+        "prices",
+        "ask",
+        "asks",
+        "bid",
+        "bids",
+        "reward",
+        "rewards",
+        "revenue",
+        "outlay",
+        "welfare",
+        "surplus",
+    }
+)
+
+
+class RawFloatEquality(Rule):
+    id = "RIT002"
+    name = "raw-float-equality"
+    rationale = (
+        "payments/utilities/asks are floats; == and != must go through "
+        "repro.core.numeric (close / is_zero / payments_close)"
+    )
+    # Tests are deliberately out of scope: determinism tests assert *bitwise*
+    # reproducibility of repeated runs, where exact equality is the point.
+    scopes = ("repro", "examples", "benchmarks")
+    exempt = ("repro.devtools",)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+                continue
+            operands = [node.left] + list(node.comparators)
+            if any(self._is_monetary(expr) for expr in operands):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "raw ==/!= on a monetary float; use repro.core.numeric."
+                    "close / is_zero / payments_close",
+                )
+
+    # ------------------------------------------------------------------ #
+
+    def _is_monetary(self, expr: ast.expr) -> bool:
+        return any(
+            word in MONETARY_WORDS
+            for name in self._head_names(expr)
+            for word in self.words(name)
+        )
+
+    def _head_names(self, expr: ast.expr) -> List[str]:
+        """The identifier(s) a comparison operand is directly drawn from.
+
+        Deliberately *not* a deep walk: in ``ask.task_type == tau`` the
+        compared value is the (integer) ``task_type`` attribute, so only
+        the chain head ``task_type`` is considered, not ``ask``.
+        """
+        if isinstance(expr, ast.Name):
+            return [expr.id]
+        if isinstance(expr, ast.Attribute):
+            # `.value` is generic (Ask.value is the monetary ask): look
+            # through it to the owning expression, e.g. asks[uid].value.
+            if expr.attr in ("value", "values"):
+                return [expr.attr] + self._head_names(expr.value)
+            return [expr.attr]
+        if isinstance(expr, ast.Call):
+            return self._head_names(expr.func)
+        if isinstance(expr, ast.Subscript):
+            return self._head_names(expr.value)
+        if isinstance(expr, ast.UnaryOp):
+            return self._head_names(expr.operand)
+        if isinstance(expr, ast.BinOp):
+            return self._head_names(expr.left) + self._head_names(expr.right)
+        if isinstance(expr, ast.IfExp):
+            return self._head_names(expr.body) + self._head_names(expr.orelse)
+        return []

@@ -1,0 +1,205 @@
+"""RIT003 — attribute assignment on frozen core value objects.
+
+The core model types (``Job``, ``Ask``, ``User``, ``Population``) and the
+mechanism outcome containers (``MechanismOutcome``, ``RoundRecord``,
+``CRAResult``, ``UnitAsks``) are frozen dataclasses: honest/attacked
+scenario pairs share them copy-on-write, so in-place mutation would
+corrupt the comparison silently at a distance (and raises
+``FrozenInstanceError`` at runtime).  Derive amended copies with
+``dataclasses.replace`` or the dedicated helpers
+(:meth:`MechanismOutcome.finalize`, :meth:`MechanismOutcome.void`,
+``Ask.with_value`` ...).
+
+Detection is intraprocedural: a variable counts as a frozen instance when
+it is annotated with a protected type (parameter or ``x: T = ...``) or
+assigned from a direct constructor / ``dataclasses.replace`` call.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional
+
+from repro.devtools.lint.context import FileContext
+from repro.devtools.lint.model import Finding
+from repro.devtools.lint.rules.base import Rule
+
+__all__ = ["FrozenInstanceMutation", "PROTECTED_TYPES"]
+
+#: Frozen core dataclasses whose instances must never be mutated.
+PROTECTED_TYPES = frozenset(
+    {
+        "Job",
+        "Ask",
+        "User",
+        "Population",
+        "RoundRecord",
+        "MechanismOutcome",
+        "CRAResult",
+        "UnitAsks",
+    }
+)
+
+
+def _annotation_type(node: Optional[ast.expr]) -> Optional[str]:
+    """Tail class name of an annotation, unwrapping Optional[...] and strings."""
+    if node is None:
+        return None
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        name = node.value.strip().strip("'\"")
+        return name.split("[")[0].split(".")[-1] or None
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Subscript):  # Optional[T] / "Optional[T]"
+        inner = node.slice
+        if isinstance(inner, ast.Tuple):
+            for element in inner.elts:
+                tail = _annotation_type(element)
+                if tail in PROTECTED_TYPES:
+                    return tail
+            return None
+        return _annotation_type(inner)
+    return None
+
+
+def _call_type(node: ast.expr) -> Optional[str]:
+    """Class name when ``node`` directly constructs a protected instance."""
+    if not isinstance(node, ast.Call):
+        return None
+    func = node.func
+    tail = func.id if isinstance(func, ast.Name) else (
+        func.attr if isinstance(func, ast.Attribute) else None
+    )
+    if tail in PROTECTED_TYPES:
+        return tail
+    return None
+
+
+class FrozenInstanceMutation(Rule):
+    id = "RIT003"
+    name = "frozen-instance-mutation"
+    rationale = (
+        "core value objects and outcomes are frozen; mutate-by-assignment "
+        "corrupts shared scenario state (use dataclasses.replace)"
+    )
+    scopes = ()  # everywhere — the mutation crashes at runtime regardless
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        yield from self._scan(ctx, list(ast.iter_child_nodes(ctx.tree)), {})
+
+    # ------------------------------------------------------------------ #
+
+    def _scan(
+        self,
+        ctx: FileContext,
+        body: List[ast.AST],
+        outer_env: Dict[str, str],
+    ) -> Iterator[Finding]:
+        env = dict(outer_env)
+        for node in body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                fn_env = dict(env)
+                args = node.args
+                all_args = (
+                    list(args.posonlyargs)
+                    + list(args.args)
+                    + list(args.kwonlyargs)
+                    + ([args.vararg] if args.vararg else [])
+                    + ([args.kwarg] if args.kwarg else [])
+                )
+                for arg in all_args:
+                    tail = _annotation_type(arg.annotation)
+                    if tail in PROTECTED_TYPES:
+                        fn_env[arg.arg] = tail
+                yield from self._scan(ctx, node.body, fn_env)
+                continue
+            if isinstance(node, ast.ClassDef):
+                # Methods cannot be tracked through `self`; scan bodies with
+                # a fresh environment so module vars still resolve.
+                yield from self._scan(ctx, node.body, env)
+                continue
+
+            yield from self._check_stmt(ctx, node, env)
+
+            # Recurse into compound statements (if/for/while/with/try)
+            # sharing the same scope and environment.
+            nested: List[ast.AST] = []
+            for field_name in ("body", "orelse", "finalbody"):
+                value = getattr(node, field_name, None)
+                if isinstance(value, list):
+                    nested.extend(value)
+            for handler in getattr(node, "handlers", []) or []:
+                nested.extend(handler.body)
+            if nested:
+                yield from self._scan(ctx, nested, env)
+
+    def _check_stmt(
+        self,
+        ctx: FileContext,
+        node: ast.AST,
+        env: Dict[str, str],
+    ) -> Iterator[Finding]:
+        if isinstance(node, ast.Assign):
+            # Track `x = Job(...)` / `x = replace(job, ...)`.
+            cls = _call_type(node.value) or self._replace_type(node.value, env)
+            for target in node.targets:
+                if isinstance(target, ast.Name) and cls:
+                    env[target.id] = cls
+                yield from self._check_target(ctx, target, env)
+        elif isinstance(node, ast.AnnAssign):
+            tail = _annotation_type(node.annotation)
+            if isinstance(node.target, ast.Name) and tail in PROTECTED_TYPES:
+                env[node.target.id] = tail or ""
+            yield from self._check_target(ctx, node.target, env)
+        elif isinstance(node, ast.AugAssign):
+            yield from self._check_target(ctx, node.target, env)
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                yield from self._check_target(ctx, target, env, deleting=True)
+
+    def _replace_type(
+        self, node: ast.expr, env: Dict[str, str]
+    ) -> Optional[str]:
+        """Type of ``replace(x, ...)`` / ``x.void()`` style derivations."""
+        if not isinstance(node, ast.Call):
+            return None
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == "replace" and node.args:
+            first = node.args[0]
+            if isinstance(first, ast.Name):
+                return env.get(first.id)
+        if isinstance(func, ast.Attribute) and func.attr in ("void", "finalize"):
+            if isinstance(func.value, ast.Name):
+                return env.get(func.value.id)
+        return None
+
+    def _check_target(
+        self,
+        ctx: FileContext,
+        target: ast.expr,
+        env: Dict[str, str],
+        *,
+        deleting: bool = False,
+    ) -> Iterator[Finding]:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                yield from self._check_target(ctx, element, env, deleting=deleting)
+            return
+        if not isinstance(target, ast.Attribute):
+            return
+        base = target.value
+        cls: Optional[str] = None
+        if isinstance(base, ast.Name):
+            cls = env.get(base.id)
+        else:
+            cls = _call_type(base)
+        if cls:
+            action = "deleting" if deleting else "assigning"
+            yield self.finding(
+                ctx,
+                target,
+                f"{action} attribute '{target.attr}' on frozen {cls} "
+                "instance; derive a copy with dataclasses.replace",
+            )

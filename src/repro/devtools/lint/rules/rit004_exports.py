@@ -1,0 +1,145 @@
+"""RIT004 — ``__all__`` / public-API drift.
+
+The package's public surface is what ``__all__`` says it is: the API tests
+and downstream imports rely on it.  Three kinds of drift are flagged in
+``repro.*`` modules:
+
+* an ``__all__`` entry that names no top-level binding (stale export —
+  ``from repro.x import *`` would raise ``AttributeError``);
+* a package ``__init__`` that re-exports a public symbol without listing
+  it in ``__all__`` (accidental API);
+* a package ``__init__`` with no ``__all__`` at all.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set, Tuple
+
+from repro.devtools.lint.context import FileContext
+from repro.devtools.lint.model import Finding
+from repro.devtools.lint.rules.base import Rule
+
+__all__ = ["ExportDrift"]
+
+
+def _top_level_bindings(tree: ast.AST) -> Set[str]:
+    """Names bound at module top level (descending into if/try blocks)."""
+    bound: Set[str] = set()
+
+    def scan(body: List[ast.stmt]) -> None:
+        for node in body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                bound.add(node.name)
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    for element in ast.walk(target):
+                        if isinstance(element, ast.Name):
+                            bound.add(element.id)
+            elif isinstance(node, ast.AnnAssign):
+                if isinstance(node.target, ast.Name):
+                    bound.add(node.target.id)
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound.add((alias.asname or alias.name).split(".")[0])
+            elif isinstance(node, ast.ImportFrom):
+                for alias in node.names:
+                    if alias.name != "*":
+                        bound.add(alias.asname or alias.name)
+            elif isinstance(node, (ast.If, ast.Try)):
+                scan(node.body)
+                scan(node.orelse)
+                for handler in getattr(node, "handlers", []):
+                    scan(handler.body)
+                scan(getattr(node, "finalbody", []))
+
+    scan(tree.body if isinstance(tree, ast.Module) else [])
+    return bound
+
+
+def _public_reexports(tree: ast.AST, package: str) -> Set[str]:
+    """Public names an ``__init__`` imports from its own package's modules.
+
+    Imports from foreign packages (``typing``, ``numpy`` ...) are plumbing,
+    not API surface — only ``from <package>... import X`` counts.
+    """
+    names: Set[str] = set()
+    for node in tree.body if isinstance(tree, ast.Module) else []:
+        if isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            if node.level == 0 and not (
+                module == package or module.startswith(package + ".")
+            ):
+                continue
+            for alias in node.names:
+                local = alias.asname or alias.name
+                if alias.name != "*" and not local.startswith("_"):
+                    names.add(local)
+    return names
+
+
+def _parse_all(
+    tree: ast.AST,
+) -> Tuple[Optional[List[str]], Optional[ast.AST], bool]:
+    """(__all__ entries, the defining node, statically-analyzable?)."""
+    for node in tree.body if isinstance(tree, ast.Module) else []:
+        targets: List[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == "__all__":
+                try:
+                    entries = ast.literal_eval(value)  # type: ignore[arg-type]
+                except (ValueError, TypeError):
+                    return None, node, False
+                if isinstance(entries, (list, tuple)) and all(
+                    isinstance(e, str) for e in entries
+                ):
+                    return list(entries), node, True
+                return None, node, False
+    return None, None, True
+
+
+class ExportDrift(Rule):
+    id = "RIT004"
+    name = "export-drift"
+    rationale = (
+        "__all__ must match the symbols a module actually binds; package "
+        "__init__ files must declare their public surface"
+    )
+    scopes = ("repro",)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        entries, node, analyzable = _parse_all(ctx.tree)
+        if not analyzable:
+            return  # dynamically-built __all__: out of static reach
+        if entries is None:
+            if ctx.is_init:
+                yield self.finding(
+                    ctx,
+                    ctx.tree if node is None else node,
+                    "package __init__ has no __all__; declare the public API",
+                )
+            return
+        bound = _top_level_bindings(ctx.tree)
+        anchor = node if node is not None else ctx.tree
+        for name in entries:
+            if name not in bound:
+                yield self.finding(
+                    ctx,
+                    anchor,
+                    f"__all__ exports '{name}' but the module never binds it",
+                )
+        if ctx.is_init:
+            listed = set(entries)
+            package = ctx.module.split(".")[0]
+            for name in sorted(_public_reexports(ctx.tree, package) - listed):
+                yield self.finding(
+                    ctx,
+                    anchor,
+                    f"__init__ re-exports '{name}' but __all__ omits it "
+                    "(accidental public API)",
+                )

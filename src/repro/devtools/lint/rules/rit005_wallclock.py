@@ -1,0 +1,83 @@
+"""RIT005 — wall-clock or environment reads inside ``repro.core``.
+
+The mechanism core must be a pure function of ``(job, asks, tree, rng)``:
+the truthfulness proofs quantify over exactly those inputs, and the golden
+regression tests replay them.  Wall-clock time (``time.time``,
+``datetime.now``) and process environment reads (``os.environ``,
+``os.getenv``) are hidden inputs that would make two replays of the same
+seed diverge.  Monotonic duration measurement (``time.perf_counter``,
+``time.monotonic``) is allowed — elapsed timings are diagnostics, not
+mechanism inputs.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.devtools.lint.context import FileContext
+from repro.devtools.lint.imports import ImportMap
+from repro.devtools.lint.model import Finding
+from repro.devtools.lint.rules.base import Rule
+
+__all__ = ["HiddenInputs"]
+
+#: Exact dotted names that read the wall clock or similar hidden inputs.
+_BANNED_EXACT = {
+    "time.time",
+    "time.time_ns",
+    "time.localtime",
+    "time.gmtime",
+    "time.ctime",
+    "time.asctime",
+    "time.strftime",
+    "datetime.datetime.now",
+    "datetime.datetime.today",
+    "datetime.datetime.utcnow",
+    "datetime.date.today",
+    "os.getenv",
+    "os.putenv",
+}
+
+#: Dotted prefixes banned wholesale (attribute access included).
+_BANNED_PREFIXES = ("os.environ",)
+
+
+def _violation(resolved: str) -> Optional[str]:
+    if resolved in _BANNED_EXACT:
+        return resolved
+    for prefix in _BANNED_PREFIXES:
+        if resolved == prefix or resolved.startswith(prefix + "."):
+            return prefix
+    return None
+
+
+class HiddenInputs(Rule):
+    id = "RIT005"
+    name = "hidden-inputs"
+    rationale = (
+        "repro.core must be a pure function of (job, asks, tree, rng); "
+        "wall-clock and env reads are hidden inputs"
+    )
+    scopes = ("repro.core",)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        imports = ImportMap.collect(ctx.tree)
+        yield from self._visit(ctx, ctx.tree, imports)
+
+    def _visit(
+        self, ctx: FileContext, node: ast.AST, imports: ImportMap
+    ) -> Iterator[Finding]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.Attribute, ast.Name)):
+                resolved = imports.resolve(child)
+                banned = _violation(resolved) if resolved else None
+                if banned:
+                    yield self.finding(
+                        ctx,
+                        child,
+                        f"'{banned}' is a hidden input to mechanism code; "
+                        "thread it in explicitly or move it out of repro.core",
+                    )
+                    continue  # don't double-report the inner chain
+            yield from self._visit(ctx, child, imports)

@@ -1,0 +1,65 @@
+"""RIT006 — bare or swallowed exceptions in ``core`` and ``attacks``.
+
+A voided outcome and a crashed mechanism are very different results: the
+paper's Algorithm 3 *explicitly* voids on failure, so any other error in
+``repro.core`` is a bug that must surface.  Likewise the attack evaluator
+must never paper over a failed deviant run — a swallowed exception there
+reads as "attack not profitable" and silently fakes sybil-proofness.
+
+Flagged:
+
+* ``except:`` with no exception type (also catches ``SystemExit`` /
+  ``KeyboardInterrupt``);
+* any handler whose body is only ``pass`` / ``...`` — the error is
+  swallowed without record or re-raise.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.lint.context import FileContext
+from repro.devtools.lint.model import Finding
+from repro.devtools.lint.rules.base import Rule
+
+__all__ = ["SwallowedExceptions"]
+
+
+def _is_swallow(handler: ast.ExceptHandler) -> bool:
+    for stmt in handler.body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            continue  # docstring or `...`
+        return False
+    return True
+
+
+class SwallowedExceptions(Rule):
+    id = "RIT006"
+    name = "swallowed-exceptions"
+    rationale = (
+        "mechanism and attack code must surface failures; a swallowed "
+        "exception reads as a mechanism result that never happened"
+    )
+    scopes = ("repro.core", "repro.attacks")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.finding(
+                    ctx,
+                    node,
+                    "bare 'except:' catches SystemExit/KeyboardInterrupt; "
+                    "name the exception type",
+                )
+            elif _is_swallow(node):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "exception swallowed with a pass-only handler; handle, "
+                    "log via the outcome, or re-raise",
+                )

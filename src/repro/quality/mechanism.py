@@ -79,8 +79,7 @@ class QualityAwareRIT(Mechanism):
         }
         outcome = self.inner.run(job, virtual, tree, rng)
         if not outcome.completed:
-            outcome.elapsed_total = time.perf_counter() - t_start
-            return outcome
+            return outcome.finalize(elapsed_total=time.perf_counter() - t_start)
 
         scaled: Dict[int, float] = {
             uid: self.qualities[uid] * pa

@@ -120,7 +120,7 @@ class TestAsk:
         ask = Ask(0, 1, 1.0)
         assert hash(ask) == hash(Ask(0, 1, 1.0))
         with pytest.raises(AttributeError):
-            ask.value = 2.0  # type: ignore[misc]
+            ask.value = 2.0  # type: ignore[misc]  # rit: noqa[RIT003]
 
 
 class TestUser:

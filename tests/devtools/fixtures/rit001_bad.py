@@ -1,0 +1,21 @@
+# rit: module=repro.core.fixture_rng_bad
+"""RIT001 fixture: every way mechanism code can smuggle in hidden RNG state.
+
+Lint fixture only — never imported or executed.  The ``# expect:`` markers
+are read by tests/devtools/test_rules_fixtures.py and compared against the
+linter's (file, line, rule) output.
+"""
+
+import random  # expect: RIT001
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def sample_winners(candidates):
+    gen = np.random.default_rng()  # expect: RIT001
+    other = default_rng()  # expect: RIT001
+    np.random.seed(1234)  # expect: RIT001
+    np.random.shuffle(candidates)  # expect: RIT001
+    pick = random.choice(candidates)  # expect: RIT001
+    return gen, other, pick

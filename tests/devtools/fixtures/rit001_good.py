@@ -1,0 +1,11 @@
+# rit: module=repro.core.fixture_rng_good
+"""RIT001 fixture (clean): randomness threaded as explicit generators."""
+
+import numpy as np
+
+
+def sample_winners(candidates, rng: np.random.Generator):
+    gen = np.random.default_rng(1234)  # explicit seed: reproducible
+    children = np.random.SeedSequence(7).spawn(3)
+    rng.shuffle(candidates)  # Generator method, not module-level state
+    return gen, children, candidates

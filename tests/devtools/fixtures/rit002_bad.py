@@ -1,0 +1,11 @@
+# rit: module=repro.core.fixture_floateq_bad
+"""RIT002 fixture: raw float equality on monetary quantities."""
+
+
+def audit(outcome, honest, deviant_utility, asks, uid):
+    if outcome.payments[uid] == honest.payments[uid]:  # expect: RIT002
+        return True
+    exploded = deviant_utility != 0.0  # expect: RIT002
+    same_ask = asks[uid].value == 3.0  # expect: RIT002
+    gap_closed = honest.total_payment - outcome.total_payment == 0  # expect: RIT002
+    return exploded, same_ask, gap_closed

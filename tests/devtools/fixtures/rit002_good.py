@@ -1,0 +1,12 @@
+# rit: module=repro.core.fixture_floateq_good
+"""RIT002 fixture (clean): tolerant comparison + non-monetary equality."""
+
+from repro.core.numeric import close, is_zero, payments_close
+
+
+def audit(outcome, honest, deviant_utility, asks, uid, tau):
+    matched = payments_close(outcome.payments, honest.payments)
+    exploded = not is_zero(deviant_utility)
+    same_ask = close(asks[uid].value, 3.0)
+    same_type = asks[uid].task_type == tau  # ints: exact equality is fine
+    return matched, exploded, same_ask, same_type

@@ -1,0 +1,16 @@
+# rit: module=repro.core.fixture_frozen_bad
+"""RIT003 fixture: in-place mutation of frozen core value objects."""
+
+from repro.core.outcome import MechanismOutcome
+from repro.core.types import Ask, Job
+
+
+def tamper(job: Job, outcome: MechanismOutcome):
+    job.counts = (1, 2, 3)  # expect: RIT003
+    outcome.completed = False  # expect: RIT003
+    ask = Ask(0, 1, 2.0)
+    ask.value = 99.0  # expect: RIT003
+    voided = outcome.void()
+    voided.elapsed_total = 0.0  # expect: RIT003
+    del job.counts  # expect: RIT003
+    return ask, voided

@@ -1,0 +1,16 @@
+# rit: module=repro.core.fixture_frozen_good
+"""RIT003 fixture (clean): copies derived with replace / helpers."""
+
+from dataclasses import replace
+
+from repro.core.outcome import MechanismOutcome
+from repro.core.types import Ask, Job
+
+
+def amend(job: Job, outcome: MechanismOutcome):
+    bigger = replace(job, counts=(1, 2, 3))
+    ask = Ask(0, 1, 2.0).with_value(99.0)
+    final = outcome.finalize(elapsed_total=0.5)
+    mutable_stats = {"count": 0}
+    mutable_stats["count"] = 1  # plain dicts stay mutable
+    return bigger, ask, final

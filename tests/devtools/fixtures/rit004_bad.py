@@ -1,0 +1,8 @@
+# rit: module=repro.fixture_exports_bad
+"""RIT004 fixture: __all__ names a symbol the module never binds."""
+
+__all__ = ["real_function", "ghost_symbol"]  # expect: RIT004
+
+
+def real_function():
+    return 1

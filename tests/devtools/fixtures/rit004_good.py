@@ -1,0 +1,14 @@
+# rit: module=repro.fixture_exports_good
+"""RIT004 fixture (clean): __all__ matches the bound symbols exactly."""
+
+__all__ = ["CONSTANT", "real_function"]
+
+CONSTANT = 7
+
+
+def real_function():
+    return CONSTANT
+
+
+def _private_helper():
+    return 0  # private: not required in __all__

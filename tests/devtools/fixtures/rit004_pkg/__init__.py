@@ -1,0 +1,6 @@
+# rit: module=repro.fixture_pkg
+"""RIT004 fixture: package __init__ leaking an unlisted re-export."""
+
+from repro.core.types import Ask, Job
+
+__all__ = ["Job"]  # Ask is unlisted -> accidental API  # expect: RIT004

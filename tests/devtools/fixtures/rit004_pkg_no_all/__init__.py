@@ -1,0 +1,8 @@
+# rit: module=repro.fixture_pkg_no_all  # expect: RIT004  (missing __all__)
+"""RIT004 fixture: package __init__ with no __all__ at all."""
+
+from repro.core.types import Job
+
+
+def helper():
+    return Job((1,))

@@ -1,0 +1,16 @@
+# rit: module=repro.core.fixture_hidden_bad
+"""RIT005 fixture: wall-clock and environment reads in mechanism core."""
+
+import os
+import time
+from datetime import datetime
+from os import getenv
+
+
+def allocate(job):
+    started = time.time()  # expect: RIT005
+    stamp = datetime.now()  # expect: RIT005
+    scale = os.environ["RIT_SCALE"]  # expect: RIT005
+    fallback = os.environ.get("RIT_MODE", "fast")  # expect: RIT005
+    debug = getenv("RIT_DEBUG")  # expect: RIT005
+    return started, stamp, scale, fallback, debug

@@ -1,0 +1,10 @@
+# rit: module=repro.core.fixture_hidden_good
+"""RIT005 fixture (clean): monotonic timing + explicit configuration."""
+
+import time
+
+
+def allocate(job, scale: str):
+    started = time.perf_counter()  # monotonic duration: diagnostics only
+    elapsed = time.perf_counter() - started
+    return scale, elapsed

@@ -1,0 +1,20 @@
+# rit: module=repro.attacks.fixture_except_bad
+"""RIT006 fixture: failures papered over in attack evaluation code."""
+
+
+def evaluate(mechanism, job, asks, tree, rng):
+    try:
+        return mechanism.run(job, asks, tree, rng)
+    except:  # expect: RIT006
+        return None
+
+
+def probe(mechanism, job, asks, tree, rng):
+    try:
+        mechanism.run(job, asks, tree, rng)
+    except ValueError:  # expect: RIT006
+        pass
+    try:
+        mechanism.run(job, asks, tree, rng)
+    except Exception:  # expect: RIT006
+        ...

@@ -1,0 +1,19 @@
+# rit: module=repro.attacks.fixture_except_good
+"""RIT006 fixture (clean): exceptions surfaced, translated or recorded."""
+
+from repro.core.exceptions import AttackError
+
+
+def evaluate(mechanism, job, asks, tree, rng):
+    try:
+        return mechanism.run(job, asks, tree, rng)
+    except KeyError as exc:
+        raise AttackError(f"scenario references unknown id: {exc}") from exc
+
+
+def probe(mechanism, job, asks, tree, rng, failures):
+    try:
+        return mechanism.run(job, asks, tree, rng)
+    except ValueError as exc:
+        failures.append(exc)  # recorded, not swallowed
+        return None

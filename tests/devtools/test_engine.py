@@ -1,0 +1,122 @@
+"""Engine behavior: discovery, module resolution, directives, parse errors."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.devtools.lint import (
+    Finding,
+    LintReport,
+    Severity,
+    build_context,
+    iter_python_files,
+    lint_file,
+    lint_paths,
+    lint_source,
+    module_for_path,
+)
+from repro.devtools.lint.context import module_in
+from repro.devtools.lint.model import PARSE_ERROR_ID
+
+REPO = Path(__file__).resolve().parent.parent.parent
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+class TestModuleResolution:
+    def test_src_root_is_stripped(self):
+        path = REPO / "src" / "repro" / "core" / "rit.py"
+        assert module_for_path(path) == "repro.core.rit"
+
+    def test_init_maps_to_package(self):
+        path = REPO / "src" / "repro" / "core" / "__init__.py"
+        assert module_for_path(path) == "repro.core"
+
+    def test_tests_keep_their_prefix(self):
+        assert module_for_path(Path(__file__)).startswith("tests.devtools")
+
+    def test_module_in_prefix_semantics(self):
+        assert module_in("repro.core.rit", "repro.core")
+        assert module_in("repro.core", "repro.core")
+        assert not module_in("repro.corelib", "repro.core")
+        assert not module_in("tests.core", "repro.core")
+
+    def test_module_directive_overrides_location(self, tmp_path):
+        target = tmp_path / "anywhere.py"
+        target.write_text("# rit: module=repro.core.injected\nx = 1\n")
+        assert build_context(target).module == "repro.core.injected"
+
+
+class TestDiscovery:
+    def test_fixture_dirs_pruned_from_directory_walks(self):
+        files = list(iter_python_files([Path(__file__).parent]))
+        assert all("fixtures" not in p.parts for p in files)
+        assert any(p.name == "test_engine.py" for p in files)
+
+    def test_explicit_file_bypasses_exclusions(self):
+        target = FIXTURES / "rit001_bad.py"
+        assert list(iter_python_files([target])) == [target]
+
+    def test_missing_path_raises(self):
+        with pytest.raises(FileNotFoundError):
+            list(iter_python_files([Path("definitely/not/here")]))
+
+    def test_duplicates_are_collapsed(self):
+        target = FIXTURES / "rit001_bad.py"
+        assert len(list(iter_python_files([target, target]))) == 1
+
+
+class TestParseErrors:
+    def test_syntax_error_becomes_rit000(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def oops(:\n")
+        findings = lint_file(bad)
+        assert len(findings) == 1
+        assert findings[0].rule_id == PARSE_ERROR_ID
+        assert findings[0].severity is Severity.ERROR
+        assert findings[0].line == 1
+
+
+class TestReport:
+    def test_counts_and_sorting(self):
+        report = lint_paths([FIXTURES / "rit001_bad.py", FIXTURES / "rit002_bad.py"])
+        assert report.files_checked == 2
+        assert len(report) == report.error_count > 0
+        ordered = report.sorted()
+        assert ordered == sorted(ordered, key=lambda f: f.sort_key)
+        assert set(report.by_rule()) == {"RIT001", "RIT002"}
+
+    def test_format_text_lists_file_line(self):
+        report = lint_paths([FIXTURES / "rit006_bad.py"])
+        text = report.format_text(statistics=True)
+        assert "rit006_bad.py:8:" in text
+        assert "RIT006" in text
+
+    def test_clean_report_is_falsy(self, tmp_path):
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        report = lint_paths([clean])
+        assert not report
+        assert "clean" in report.format_text()
+
+    def test_json_round_trip(self):
+        import json
+
+        report = lint_paths([FIXTURES / "rit005_bad.py"])
+        payload = json.loads(report.format_json())
+        assert payload["files_checked"] == 1
+        assert all(f["rule"] == "RIT005" for f in payload["findings"])
+
+
+class TestLintSource:
+    def test_scoped_rule_needs_module_directive(self):
+        snippet = "import time\nt = time.time()\n"
+        assert lint_source(snippet) == []  # module '<string>': out of scope
+        scoped = "# rit: module=repro.core.x\n" + snippet
+        assert [f.rule_id for f in lint_source(scoped)] == ["RIT005"]
+
+    def test_finding_format_is_clickable(self):
+        finding = Finding("src/x.py", 3, 7, "RIT001", "boom")
+        assert finding.format() == "src/x.py:3:7: RIT001 boom"
+
+    def test_report_type_reexported(self):
+        assert isinstance(lint_paths([]), LintReport)

@@ -1,0 +1,105 @@
+"""Suppression semantics and CLI exit codes (satellite acceptance tests).
+
+* ``# rit: noqa[RIT00X]`` silences exactly that rule on exactly that line;
+* a clean tree exits 0, findings exit 1, usage errors exit 2;
+* the ``rit lint`` subcommand and ``python -m repro.devtools.lint`` agree.
+"""
+
+from pathlib import Path
+
+from repro.cli import main as rit_main
+from repro.devtools.lint import lint_file, lint_source
+from repro.devtools.lint.cli import main as lint_main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+#: Mechanism-scoped snippet with two *different* violations on one line:
+#: an unseeded default_rng (RIT001) feeding a monetary comparison (RIT002).
+TWO_RULES_ONE_LINE = (
+    "# rit: module=repro.core.noqa_probe\n"
+    "import numpy as np\n"
+    "def f(payment):\n"
+    "    return payment == np.random.default_rng().random(){noqa}\n"
+)
+
+
+def _rules(source: str):
+    return sorted(f.rule_id for f in lint_source(source))
+
+
+class TestNoqa:
+    def test_unsuppressed_line_reports_both_rules(self):
+        assert _rules(TWO_RULES_ONE_LINE.format(noqa="")) == ["RIT001", "RIT002"]
+
+    def test_noqa_silences_exactly_one_rule(self):
+        silenced = TWO_RULES_ONE_LINE.format(noqa="  # rit: noqa[RIT001]")
+        assert _rules(silenced) == ["RIT002"]
+
+    def test_noqa_for_other_rule_changes_nothing(self):
+        wrong = TWO_RULES_ONE_LINE.format(noqa="  # rit: noqa[RIT005]")
+        assert _rules(wrong) == ["RIT001", "RIT002"]
+
+    def test_noqa_list_silences_each_named_rule(self):
+        both = TWO_RULES_ONE_LINE.format(noqa="  # rit: noqa[RIT001, RIT002]")
+        assert _rules(both) == []
+
+    def test_bare_noqa_silences_every_rule_on_the_line(self):
+        bare = TWO_RULES_ONE_LINE.format(noqa="  # rit: noqa")
+        assert _rules(bare) == []
+
+    def test_noqa_only_affects_its_own_line(self, tmp_path):
+        target = tmp_path / "two_lines.py"
+        target.write_text(
+            "# rit: module=repro.core.noqa_lines\n"
+            "import numpy as np\n"
+            "a = np.random.default_rng()  # rit: noqa[RIT001]\n"
+            "b = np.random.default_rng()\n"
+        )
+        findings = lint_file(target)
+        assert [(f.line, f.rule_id) for f in findings] == [(4, "RIT001")]
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("VALUE = 1\n")
+        assert lint_main([str(clean)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, capsys):
+        code = lint_main([str(FIXTURES / "rit001_bad.py")])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "RIT001" in out
+
+    def test_unknown_rule_id_exits_two(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("VALUE = 1\n")
+        assert lint_main([str(clean), "--select", "RIT999"]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_missing_path_exits_two(self, capsys):
+        assert lint_main(["definitely/not/here"]) == 2
+        capsys.readouterr()
+
+    def test_select_restricts_rules(self, capsys):
+        path = str(FIXTURES / "rit002_bad.py")
+        assert lint_main([path, "--select", "RIT001"]) == 0
+        assert lint_main([path, "--select", "RIT002"]) == 1
+        capsys.readouterr()
+
+    def test_ignore_excludes_rules(self, capsys):
+        path = str(FIXTURES / "rit006_bad.py")
+        assert lint_main([path, "--ignore", "RIT006"]) == 0
+        capsys.readouterr()
+
+    def test_rit_cli_lint_subcommand_matches(self, capsys):
+        assert rit_main(["lint", str(FIXTURES / "rit003_bad.py")]) == 1
+        out = capsys.readouterr().out
+        assert "RIT003" in out
+
+    def test_list_rules_exits_zero(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("RIT001", "RIT002", "RIT003", "RIT004", "RIT005", "RIT006"):
+            assert rule_id in out

@@ -1,0 +1,77 @@
+"""Fixture-driven rule tests.
+
+Every fixture under ``tests/devtools/fixtures/`` marks its deliberate
+violations with a trailing ``# expect: RIT00X`` comment (comma-separated
+ids for multiple rules on one line).  The test lints each fixture and
+demands the finding set equals the marker set *exactly* — missing
+detections and extra false positives both fail, with line numbers.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.devtools.lint import RULES_BY_ID, lint_file
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+_EXPECT_RE = re.compile(r"#\s*expect:\s*([A-Z0-9, ]+)")
+
+
+def fixture_files():
+    return sorted(FIXTURES.rglob("*.py"))
+
+
+def expected_markers(path: Path):
+    """{(line, rule_id)} declared by the fixture's # expect: comments."""
+    expected = set()
+    for lineno, text in enumerate(path.read_text().splitlines(), start=1):
+        match = _EXPECT_RE.search(text)
+        if not match:
+            continue
+        for rule_id in match.group(1).split(","):
+            rule_id = rule_id.strip()
+            if rule_id:
+                expected.add((lineno, rule_id))
+    return expected
+
+
+@pytest.mark.parametrize(
+    "path", fixture_files(), ids=lambda p: str(p.relative_to(FIXTURES))
+)
+def test_fixture_findings_match_markers(path):
+    expected = expected_markers(path)
+    actual = {(f.line, f.rule_id) for f in lint_file(path)}
+    missing = expected - actual
+    extra = actual - expected
+    assert not missing, f"linter missed declared violations: {sorted(missing)}"
+    assert not extra, f"linter reported unexpected findings: {sorted(extra)}"
+
+
+def test_every_rule_has_bad_fixture_coverage():
+    """Acceptance: fixtures trigger every one of RIT001-RIT006."""
+    covered = set()
+    for path in fixture_files():
+        covered |= {rule_id for _, rule_id in expected_markers(path)}
+    assert covered == set(RULES_BY_ID), (
+        f"rules without fixture coverage: {sorted(set(RULES_BY_ID) - covered)}"
+    )
+
+
+def test_good_fixtures_are_clean():
+    for path in fixture_files():
+        if "_good" in path.stem:
+            assert not expected_markers(path)
+            assert lint_file(path) == []
+
+
+def test_findings_report_real_locations():
+    """file:line output points at the offending statement, not line 1."""
+    path = FIXTURES / "rit001_bad.py"
+    findings = lint_file(path)
+    assert findings
+    for finding in findings:
+        assert finding.path == str(path)
+        assert finding.line > 1  # module docstring/header precedes them
+        assert finding.column >= 1

@@ -1,0 +1,59 @@
+"""The linter gates its own repository: the live tree must be clean.
+
+This is the tripwire the whole subsystem exists for — any future PR that
+introduces an unseeded RNG, a raw monetary ``==``, a frozen-instance
+mutation, export drift, a wall-clock read in core, or a swallowed
+exception fails here with a ``file:line`` pointer.
+
+``ruff`` / ``mypy`` gates run only where those tools are installed (they
+are optional dev dependencies; the container image may not carry them).
+"""
+
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.devtools.lint import lint_paths
+
+REPO = Path(__file__).resolve().parent.parent.parent
+TREE = [REPO / part for part in ("src", "tests", "benchmarks", "examples")]
+
+
+def test_live_tree_is_lint_clean():
+    report = lint_paths(TREE)
+    assert report.files_checked > 100  # the walk really covered the repo
+    assert not report, "rit lint findings on the live tree:\n" + "\n".join(
+        f.format() for f in report
+    )
+
+
+def test_lint_cli_exits_zero_on_live_tree(capsys):
+    from repro.devtools.lint.cli import main as lint_main
+
+    assert lint_main([str(p) for p in TREE]) == 0
+    capsys.readouterr()
+
+
+@pytest.mark.skipif(shutil.which("ruff") is None, reason="ruff not installed")
+def test_ruff_clean():
+    proc = subprocess.run(
+        ["ruff", "check", "src", "tests", "benchmarks", "examples"],
+        cwd=REPO,
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+@pytest.mark.skipif(shutil.which("mypy") is None, reason="mypy not installed")
+def test_mypy_core_strict():
+    proc = subprocess.run(
+        [sys.executable, "-m", "mypy", "src/repro/core"],
+        cwd=REPO,
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
