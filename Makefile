@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test lint typecheck check bench bench-json smoke paper report examples clean
+.PHONY: install test lint typecheck check bench bench-pytest bench-json smoke paper report examples clean
 
 install:
 	pip install -e .
@@ -30,7 +30,13 @@ typecheck:
 # The full gate new PRs must pass: domain lint + types + tier-1 tests.
 check: lint typecheck test
 
+# Fast perf baseline: times the scaling workload on both auction engines
+# and refreshes BENCH_RIT.json (the committed perf trajectory).
 bench:
+	PYTHONPATH=src $(PY) -m repro bench --out BENCH_RIT.json
+
+# Full pytest-benchmark sweep over benchmarks/.
+bench-pytest:
 	$(PY) -m pytest benchmarks/ --benchmark-only
 
 bench-json:

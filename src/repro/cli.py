@@ -10,6 +10,8 @@ Subcommands
 ``rit bounds``            print the Lemma 6.2 bound / round-budget table
                           for a given configuration.
 ``rit demo``              run one end-to-end scenario and print a summary.
+``rit bench``             run the auction-engine scaling benchmark and write
+                          ``BENCH_RIT.json`` (the perf trajectory seed).
 ``rit lint``              run the AST-based domain linter over the tree
                           (also: ``python -m repro.devtools.lint``).
 """
@@ -122,6 +124,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-capacity", type=int, default=6,
         help="audit a victim with at most this capacity (the guarantee "
         "regime needs K_j << m_i; see EXPERIMENTS.md)",
+    )
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="time the auction engines and write BENCH_RIT.json",
+    )
+    p_bench.add_argument("--users", type=int, default=2000)
+    p_bench.add_argument("--types", type=int, default=10)
+    p_bench.add_argument("--tasks-per-type", type=int, default=100)
+    p_bench.add_argument(
+        "--reps", type=int, default=15, help="timed repetitions per engine"
+    )
+    p_bench.add_argument(
+        "--seed", type=int, default=0, help="base seed for the per-rep runs"
+    )
+    p_bench.add_argument(
+        "--scenario-seed", type=int, default=2,
+        help="workload seed (2 = the test_scaling.py hero workload)",
+    )
+    p_bench.add_argument(
+        "--out", default="BENCH_RIT.json", help="output JSON path"
     )
 
     p_lint = sub.add_parser(
@@ -311,6 +334,36 @@ def _cmd_audit(args: argparse.Namespace) -> int:
     return 0 if not summary.significant else 2
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.devtools.bench import run_scaling_bench, write_bench
+
+    result = run_scaling_bench(
+        users=args.users,
+        types=args.types,
+        tasks_per_type=args.tasks_per_type,
+        reps=args.reps,
+        seed=args.seed,
+        scenario_seed=args.scenario_seed,
+    )
+    write_bench(result, args.out)
+    for engine, doc in result["engines"].items():
+        seconds = doc["seconds"]
+        print(
+            f"{engine:>9}: p50 {seconds['p50'] * 1000:7.2f} ms  "
+            f"p95 {seconds['p95'] * 1000:7.2f} ms  "
+            f"{doc['ops_per_sec']:7.1f} runs/s"
+        )
+    if "speedup_sorted_vs_reference" in result:
+        print(
+            "speedup sorted vs reference: "
+            f"{result['speedup_sorted_vs_reference']:.2f}x"
+        )
+    if "speedup_vs_pre_pr" in result:
+        print(f"speedup vs pre-engine baseline: {result['speedup_vs_pre_pr']:.2f}x")
+    print(f"written -> {args.out}")
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.devtools.lint.cli import run as run_lint
 
@@ -326,6 +379,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "demo": _cmd_demo,
         "report": _cmd_report,
         "audit": _cmd_audit,
+        "bench": _cmd_bench,
         "lint": _cmd_lint,
     }
     return handlers[args.command](args)

@@ -7,7 +7,9 @@ Submodules
 ``consensus``  Goldberg–Hartline consensus rounding primitives
 ``bounds``     Lemma 6.2/6.3 probability bounds and round budgets
 ``extract``    Algorithm 2 (unit-ask extraction)
-``cra``        Algorithm 1 (collusion-resistant auction round)
+``cra``        Algorithm 1 (collusion-resistant auction round, reference)
+``engine``     incremental sorted auction engine (the CRA hot path)
+``fenwick``    Fenwick tree over remaining capacities
 ``payments``   Algorithm 3 payment determination phase
 ``numeric``    tolerant float comparison for monetary quantities
 ``rit``        Algorithm 3 (the full RIT mechanism)
@@ -25,6 +27,7 @@ from repro.core.bounds import (
     rit_truthful_probability,
 )
 from repro.core.cra import CRAResult, cra
+from repro.core.engine import SortedTypePool, StageTimers, cra_presorted
 from repro.core.exceptions import (
     AllocationError,
     AttackError,
@@ -46,7 +49,8 @@ from repro.core.numeric import (
 )
 from repro.core.outcome import MechanismOutcome, RoundRecord
 from repro.core.payments import DEFAULT_DECAY, tree_payments, tree_payments_naive
-from repro.core.rit import BUDGET_POLICIES, RIT
+from repro.core.fenwick import FenwickTree
+from repro.core.rit import BUDGET_POLICIES, ENGINES, RIT
 from repro.core.types import Ask, Job, Population, TaskType, User
 
 __all__ = [
@@ -61,8 +65,13 @@ __all__ = [
     "extract",
     "CRAResult",
     "cra",
+    "cra_presorted",
+    "SortedTypePool",
+    "StageTimers",
+    "FenwickTree",
     "RIT",
     "BUDGET_POLICIES",
+    "ENGINES",
     "Mechanism",
     "MechanismOutcome",
     "RoundRecord",

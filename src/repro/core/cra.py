@@ -29,6 +29,13 @@ the user-id order produced by :func:`repro.core.extract.extract`.
 
 Every winning ask has value at most the final price ``s`` — the property
 behind Lemma 6.1 (individual rationality of the auction phase).
+
+:func:`cra` is the *pure reference implementation*: it takes the fully
+materialized unit-ask vector and re-sorts it from scratch.
+:func:`repro.core.engine.cra_presorted` is the production fast path — it
+runs the same algorithm against a pool sorted once at construction and is
+differentially tested to consume the identical RNG stream and return the
+identical :class:`CRAResult`.
 """
 
 from __future__ import annotations
@@ -71,7 +78,9 @@ class CRAResult:
 
     winners: np.ndarray
     price: float
-    sample_indices: np.ndarray = field(repr=False, default=None)  # type: ignore[assignment]
+    sample_indices: np.ndarray = field(
+        repr=False, default_factory=lambda: np.empty(0, dtype=np.int64)
+    )
     n_s: int = 0
     offset: float = 0.0
     overflow_trimmed: bool = False

@@ -1,0 +1,120 @@
+"""Fenwick (binary-indexed) tree over non-negative integer counts.
+
+The incremental auction engine (:mod:`repro.core.engine`) keeps one count
+per participant — the remaining capacity, stored in *sorted-by-ask* order —
+and needs three operations per CRA round, all sub-linear:
+
+* ``prefix(k)`` — how many units the ``k`` cheapest participants still
+  hold (the supply count ``z_s`` once ``k`` comes from a ``searchsorted``
+  on the presorted ask values);
+* ``locate(j)`` — which participant holds the ``j``-th cheapest alive
+  unit (the cutoff of the smallest-``n_s`` selection);
+* ``add(i, delta)`` — consume a unit when an ask wins a task.
+
+All three are ``O(log n)``; construction from an initial count vector is
+vectorized ``O(n)``.  Counts must stay non-negative — the tree stores the
+classic partial sums and :meth:`locate`'s bitmask descent is only correct
+for non-negative entries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.exceptions import ConfigurationError
+
+__all__ = ["FenwickTree"]
+
+
+class FenwickTree:
+    """Prefix sums over a mutable vector of non-negative int64 counts."""
+
+    __slots__ = ("_tree", "_size", "_total", "_top_bit")
+
+    def __init__(self, counts: np.ndarray) -> None:
+        counts = np.asarray(counts, dtype=np.int64)
+        if counts.ndim != 1:
+            raise ConfigurationError(
+                f"counts must be 1-D, got shape {counts.shape}"
+            )
+        if counts.size and counts.min() < 0:
+            raise ConfigurationError("counts must be non-negative")
+        n = int(counts.size)
+        self._size = n
+        self._total = int(counts.sum())
+        # Vectorized build: node i (1-based) covers (i - lowbit(i), i], so
+        # tree[i] = S[i] - S[i - lowbit(i)] with S the inclusive prefix sum.
+        s = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=s[1:])
+        idx = np.arange(1, n + 1)
+        tree = np.zeros(n + 1, dtype=np.int64)
+        tree[1:] = s[idx] - s[idx - (idx & -idx)]
+        self._tree = tree
+        self._top_bit = 1 << (n.bit_length() - 1) if n else 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def total(self) -> int:
+        """Sum of all counts (``prefix(len(self))``, cached)."""
+        return self._total
+
+    def prefix(self, k: int) -> int:
+        """Sum of the first ``k`` counts (``counts[0] + … + counts[k-1]``)."""
+        if not 0 <= k <= self._size:
+            raise ConfigurationError(
+                f"prefix index must be in [0, {self._size}], got {k}"
+            )
+        tree = self._tree
+        total = 0
+        while k > 0:
+            total += int(tree[k])
+            k -= k & -k
+        return total
+
+    def add(self, i: int, delta: int) -> None:
+        """Add ``delta`` to ``counts[i]`` (the result must stay >= 0)."""
+        if not 0 <= i < self._size:
+            raise ConfigurationError(
+                f"index must be in [0, {self._size}), got {i}"
+            )
+        self._total += delta
+        tree = self._tree
+        i += 1
+        while i <= self._size:
+            tree[i] += delta
+            i += i & -i
+
+    def get(self, i: int) -> int:
+        """Current value of ``counts[i]``."""
+        return self.prefix(i + 1) - self.prefix(i)
+
+    def locate(self, j: int) -> "tuple[int, int]":
+        """Find the entry holding the ``j``-th unit (1-based ``j``).
+
+        Returns ``(i, r)`` where ``i`` is the smallest index with
+        ``prefix(i + 1) >= j`` and ``r = j - prefix(i)`` is the 1-based
+        offset of the unit within ``counts[i]`` (``1 <= r <= counts[i]``).
+        """
+        if not 1 <= j <= self._total:
+            raise ConfigurationError(
+                f"unit rank must be in [1, {self._total}], got {j}"
+            )
+        tree = self._tree
+        pos = 0
+        rem = j
+        bit = self._top_bit
+        while bit:
+            nxt = pos + bit
+            if nxt <= self._size and tree[nxt] < rem:
+                pos = nxt
+                rem -= int(tree[nxt])
+            bit >>= 1
+        return pos, rem
+
+    def to_array(self) -> np.ndarray:
+        """Reconstruct the current count vector (``O(n log n)``; debugging)."""
+        return np.array(
+            [self.get(i) for i in range(self._size)], dtype=np.int64
+        )

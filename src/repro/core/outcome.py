@@ -64,6 +64,12 @@ class MechanismOutcome:
     elapsed_auction / elapsed_total:
         Wall-clock seconds spent in the auction phase and in the whole
         mechanism (the Fig. 8 metrics).
+    stage_timings:
+        Per-stage wall-clock seconds of the auction engine
+        (``sample`` / ``consensus`` / ``select`` / ``consume``), aggregated
+        over all CRA rounds.  Populated by the incremental sorted engine
+        (see :mod:`repro.core.engine`); empty for mechanisms/engines that
+        do not report stages.
     """
 
     allocation: Dict[int, int] = field(default_factory=dict)
@@ -73,6 +79,7 @@ class MechanismOutcome:
     rounds: List[RoundRecord] = field(default_factory=list)
     elapsed_auction: float = 0.0
     elapsed_total: float = 0.0
+    stage_timings: Dict[str, float] = field(default_factory=dict)
 
     # ------------------------------------------------------------------ #
     # Accessors
@@ -179,6 +186,7 @@ class MechanismOutcome:
             elapsed_total=(
                 self.elapsed_total if elapsed_total is None else elapsed_total
             ),
+            stage_timings=dict(self.stage_timings),
         )
 
     def check_covers(self, job: Job) -> bool:

@@ -81,35 +81,75 @@ def tree_payments(
     order = tree.bfs_order()
     if not order:
         return {}
-    for node in order:
-        if node not in task_types:
-            raise TreeError(f"node {node} has no task type")
 
+    # Gather per-node scalars into flat arrays, indexed in BFS order.
+    n = len(order)
     index = {node: i for i, node in enumerate(order)}
-    num_types = max(task_types[node] for node in order) + 1
-    depths = tree.depths()
+    parent_of = tree.to_parent_map()
+    types_arr = np.empty(n, dtype=np.int64)
+    pay_arr = np.zeros(n, dtype=np.float64)
+    parent_arr = np.empty(n, dtype=np.int64)
+    for i, node in enumerate(order):
+        try:
+            types_arr[i] = task_types[node]
+        except KeyError:
+            raise TreeError(f"node {node} has no task type") from None
+        pay_arr[i] = auction_payments.get(node, 0.0)
+        parent = parent_of[node]
+        parent_arr[i] = -1 if parent == ROOT else index[parent]
+    num_types = int(types_arr.max()) + 1
+
+    # BFS order lists whole depth levels back to back and parents in BFS
+    # order, so ``parent_arr`` is non-decreasing; level ``d+1`` is exactly
+    # the nodes whose parent index falls inside level ``d``.  That recovers
+    # every node's depth with one ``searchsorted`` per level instead of a
+    # tree walk.
+    if n > 1 and bool(np.any(np.diff(parent_arr) < 0)):
+        raise TreeError("bfs order lost level contiguity")  # unreachable
+    level_bounds = [0]
+    while level_bounds[-1] < n:
+        prev_end = level_bounds[-1]
+        last_parent = -1 if prev_end == 0 else prev_end - 1
+        end = int(np.searchsorted(parent_arr, last_parent, side="right"))
+        if end <= prev_end:  # pragma: no cover - valid trees always progress
+            raise TreeError("bfs order lost level contiguity")
+        level_bounds.append(end)
+    max_depth = len(level_bounds) - 1
+    depth_arr = np.empty(n, dtype=np.int64)
+    for d in range(1, max_depth + 1):
+        depth_arr[level_bounds[d - 1] : level_bounds[d]] = d
+
+    # Per-depth decay weights via scalar pow — the exact floats of the
+    # per-node ``decay ** depth`` the accumulation below multiplies with.
+    decay_pow = np.array(
+        [decay ** d for d in range(max_depth + 1)], dtype=np.float64
+    )
+    contrib = decay_pow[depth_arr] * pay_arr
 
     # sub[i, t] = Σ over the subtree rooted at order[i] (node included) of
     # (decay ** r_u) * p^A_u restricted to nodes u of type t.
-    sub = np.zeros((len(order), num_types), dtype=np.float64)
-    for node in reversed(order):  # children always appear after parents in BFS
-        i = index[node]
-        pay = auction_payments.get(node, 0.0)
-        if pay:
-            sub[i, task_types[node]] += (decay ** depths[node]) * pay
-        parent = tree.parent(node)
-        if parent != ROOT:
-            sub[index[parent]] += sub[i]
+    #
+    # BFS order groups nodes by depth, so the bottom-up pass runs level by
+    # level: each level's rows are finalized with the nodes' own
+    # contributions, then pushed onto the parents' rows with an unbuffered
+    # ``np.add.at``.  Iterating each level in reverse BFS order makes the
+    # per-cell addition sequence identical to the node-at-a-time reference
+    # pass, keeping the results bitwise reproducible across both.
+    sub = np.zeros((n, num_types), dtype=np.float64)
+    for d in range(max_depth, 0, -1):
+        lo, hi = level_bounds[d - 1], level_bounds[d]
+        idx = np.arange(hi - 1, lo - 1, -1)
+        sub[idx, types_arr[idx]] += contrib[idx]
+        parents = parent_arr[idx]
+        push = parents >= 0
+        np.add.at(sub, parents[push], sub[idx[push]])
 
-    payments: Dict[int, float] = {}
-    for node in order:
-        i = index[node]
-        own_type = task_types[node]
-        # Descendant sum excluding same-type nodes; the node's own term is
-        # of its own type, so it is excluded together with them.
-        referral = float(sub[i].sum() - sub[i, own_type])
-        payments[node] = auction_payments.get(node, 0.0) + referral
-    return payments
+    # Descendant sum excluding same-type nodes; the node's own term is of
+    # its own type, so it is excluded together with them.
+    rows = np.arange(n)
+    referral = sub.sum(axis=1) - sub[rows, types_arr]
+    final = pay_arr + referral
+    return dict(zip(order, final.tolist()))
 
 
 def tree_payments_naive(

@@ -35,33 +35,52 @@ expose the budget as a policy:
 
 The theoretical guarantee actually achieved under the chosen policy can be
 retrieved with :meth:`RIT.truthful_probability_bound`.
+
+Auction engines
+---------------
+The multi-round CRA loop has two interchangeable engines (``engine=``):
+
+* ``"sorted"`` *(default)* — the incremental sorted engine of
+  :mod:`repro.core.engine`: each per-type pool is sorted once, remaining
+  capacity is tracked in a Fenwick tree across rounds, and every round is
+  resolved by prefix queries instead of a fresh sort.  Per-stage timings
+  are surfaced on :attr:`MechanismOutcome.stage_timings`.
+* ``"reference"`` — re-materialize and re-sort the unit pool every round
+  (the direct transcription of Algorithm 1).
+
+Both consume the identical random stream and produce identical outcomes
+for the same seed; differential tests enforce this.
 """
 
 from __future__ import annotations
 
 import math
 import time
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Dict, List, Mapping, Optional
 
 import numpy as np
 
 from repro.core import bounds
 from repro.core.cra import cra
+from repro.core.engine import SortedTypePool, StageTimers, cra_presorted
 from repro.core.exceptions import (
     AllocationError,
     ConfigurationError,
     ModelError,
 )
 from repro.core.mechanism import Mechanism
+from repro.core.numeric import is_zero
 from repro.core.outcome import MechanismOutcome, RoundRecord
 from repro.core.payments import DEFAULT_DECAY, tree_payments
 from repro.core.rng import SeedLike, as_generator
 from repro.core.types import Ask, Job
 from repro.tree.incentive_tree import IncentiveTree
 
-__all__ = ["RIT", "BUDGET_POLICIES"]
+__all__ = ["RIT", "BUDGET_POLICIES", "ENGINES"]
 
 BUDGET_POLICIES = ("lemma", "paper", "until-complete")
+
+ENGINES = ("sorted", "reference")
 
 #: Safety cap multiplier for the "until-complete" policy: the number of
 #: rounds is bounded by ``_SAFETY_BASE + _SAFETY_LOG_FACTOR * ceil(log2(m_i+2))``
@@ -96,6 +115,10 @@ class RIT(Mechanism):
     sample_rate_scale:
         Ablation knob forwarded to every CRA round (see
         :func:`repro.core.cra.cra`); 1.0 is the paper's mechanism.
+    engine:
+        One of :data:`ENGINES` — ``"sorted"`` (incremental sorted engine,
+        default) or ``"reference"`` (per-round rebuild); see the module
+        docstring.  Outcomes are seed-for-seed identical between the two.
     raise_on_failure:
         When True, an incomplete allocation raises
         :class:`~repro.core.exceptions.AllocationError` instead of
@@ -113,6 +136,7 @@ class RIT(Mechanism):
         log_base: float = 10.0,
         k_max: Optional[int] = None,
         sample_rate_scale: float = 1.0,
+        engine: str = "sorted",
         raise_on_failure: bool = False,
     ) -> None:
         if not 0.0 < h < 1.0:
@@ -120,6 +144,10 @@ class RIT(Mechanism):
         if round_budget not in BUDGET_POLICIES:
             raise ConfigurationError(
                 f"round_budget must be one of {BUDGET_POLICIES}, got {round_budget!r}"
+            )
+        if engine not in ENGINES:
+            raise ConfigurationError(
+                f"engine must be one of {ENGINES}, got {engine!r}"
             )
         if not 0.0 < decay < 1.0:
             raise ConfigurationError(f"decay must be in (0, 1), got {decay}")
@@ -130,6 +158,7 @@ class RIT(Mechanism):
                 f"sample_rate_scale must be > 0, got {sample_rate_scale}"
             )
         self.sample_rate_scale = float(sample_rate_scale)
+        self.engine = engine
         self.h = float(h)
         self.decay = float(decay)
         self.round_budget = round_budget
@@ -194,11 +223,13 @@ class RIT(Mechanism):
         allocation: Dict[int, int] = {}
         auction_payments: Dict[int, float] = {}
         rounds_log: List[RoundRecord] = []
+        timers = StageTimers() if self.engine == "sorted" else None
         completed = True
 
         if asks:
-            k_max = self.k_max_override or max(a.capacity for a in asks.values())
-            by_type = _group_by_type(asks, job.num_types)
+            uid_arr, type_arr, val_arr, cap_arr = _profile_arrays(asks)
+            k_max = self.k_max_override or int(cap_arr.max())
+            by_type = _pools_from_arrays(uid_arr, type_arr, val_arr, cap_arr)
             for tau in job.types():
                 m_i = job.tasks_of(tau)
                 if m_i == 0:
@@ -213,6 +244,7 @@ class RIT(Mechanism):
                     allocation,
                     auction_payments,
                     rounds_log,
+                    timers,
                 )
                 if not done:
                     completed = False
@@ -228,6 +260,7 @@ class RIT(Mechanism):
             completed=completed,
             rounds=rounds_log,
             elapsed_auction=t_auction - t_start,
+            stage_timings=timers.as_dict() if timers is not None else {},
         )
         if not completed:
             # Algorithm 3 line 27: void everything.
@@ -239,10 +272,13 @@ class RIT(Mechanism):
             return outcome.void(elapsed_total=time.perf_counter() - t_start)
 
         # Payment determination phase (lines 22-25).
-        types = {uid: ask.task_type for uid, ask in asks.items()}
+        if asks:
+            types = dict(zip(uid_arr.tolist(), type_arr.tolist()))
+        else:
+            types = {}
         payments = tree_payments(tree, auction_payments, types, decay=self.decay)
         return outcome.finalize(
-            payments={uid: p for uid, p in payments.items() if p != 0.0},
+            payments={uid: p for uid, p in payments.items() if not is_zero(p)},
             elapsed_total=time.perf_counter() - t_start,
         )
 
@@ -254,25 +290,45 @@ class RIT(Mechanism):
         self,
         tau: int,
         m_i: int,
-        group: Optional["_TypeGroup"],
+        group: Optional[SortedTypePool],
         k_max: int,
         num_types: int,
         gen: np.random.Generator,
         allocation: Dict[int, int],
         auction_payments: Dict[int, float],
         rounds_log: List[RoundRecord],
+        timers: Optional[StageTimers],
     ) -> bool:
         """Run the multi-round CRA loop for one type; True iff covered."""
         budget = self.budget_for(m_i, k_max, num_types)
+        use_sorted = self.engine == "sorted"
         q = m_i
         rounds = 0
         while rounds < budget and q > 0:
             if group is None or group.total_remaining() == 0:
                 break  # supply exhausted — no further round can allocate
-            values, owners = group.unit_asks()
-            result = cra(
-                values, q, m_i, gen, sample_rate_scale=self.sample_rate_scale
-            )
+            if use_sorted:
+                result = cra_presorted(
+                    group,
+                    q,
+                    m_i,
+                    gen,
+                    sample_rate_scale=self.sample_rate_scale,
+                    timers=timers,
+                )
+                t_consume = time.perf_counter()
+                winner_positions = group.unit_user_positions(
+                    result.winners, group.round_bounds()
+                )
+                winner_uids = group.uids[winner_positions]
+            else:
+                values, owners = group.unit_asks()
+                result = cra(
+                    values, q, m_i, gen,
+                    sample_rate_scale=self.sample_rate_scale,
+                )
+                t_consume = time.perf_counter()
+                winner_uids = owners[result.winners]
             rounds_log.append(
                 RoundRecord(
                     task_type=tau,
@@ -284,14 +340,24 @@ class RIT(Mechanism):
                     overflow_trimmed=result.overflow_trimmed,
                 )
             )
-            for idx in result.winners:
-                uid = int(owners[idx])
-                allocation[uid] = allocation.get(uid, 0) + 1
-                auction_payments[uid] = (
-                    auction_payments.get(uid, 0.0) + result.price
-                )
-                group.consume(uid)
-                q -= 1
+            if use_sorted:
+                for uid in winner_uids.tolist():
+                    allocation[uid] = allocation.get(uid, 0) + 1
+                    auction_payments[uid] = (
+                        auction_payments.get(uid, 0.0) + result.price
+                    )
+                group.consume_positions(winner_positions)
+                q -= result.num_winners
+            else:
+                for uid in winner_uids.tolist():
+                    allocation[uid] = allocation.get(uid, 0) + 1
+                    auction_payments[uid] = (
+                        auction_payments.get(uid, 0.0) + result.price
+                    )
+                group.consume_many(winner_uids)
+                q -= result.num_winners
+            if timers is not None:
+                timers.consume += time.perf_counter() - t_consume
             rounds += 1
         return q == 0
 
@@ -310,61 +376,56 @@ class RIT(Mechanism):
                 f"tree nodes without asks: {missing}… (every user submits an "
                 "ask upon joining)"
             )
+        num_types = job.num_types
         for uid, ask in asks.items():
-            if ask.task_type >= job.num_types:
+            if ask.task_type >= num_types:
                 raise ModelError(
                     f"user {uid} bids for type {ask.task_type}, but the job "
-                    f"has only {job.num_types} types"
+                    f"has only {num_types} types"
                 )
 
 
-class _TypeGroup:
-    """Vectorized per-type ask pool with shrinking remaining capacities.
-
-    Equivalent to re-running :func:`repro.core.extract.extract` with the
-    current remaining capacities each round, but O(1) amortized per
-    consumed unit instead of re-walking the whole ask profile.
-    """
-
-    __slots__ = ("uids", "values", "remaining", "_index")
-
-    def __init__(self, uids: np.ndarray, values: np.ndarray, capacities: np.ndarray):
-        self.uids = uids
-        self.values = values
-        self.remaining = capacities.astype(np.int64).copy()
-        self._index = {int(uid): i for i, uid in enumerate(uids)}
-
-    def total_remaining(self) -> int:
-        return int(self.remaining.sum())
-
-    def unit_asks(self) -> Tuple[np.ndarray, np.ndarray]:
-        """Current ``(α, λ)`` — one entry per remaining unit of capacity."""
-        reps = self.remaining
-        return np.repeat(self.values, reps), np.repeat(self.uids, reps)
-
-    def consume(self, uid: int) -> None:
-        i = self._index[uid]
-        if self.remaining[i] <= 0:  # pragma: no cover - internal invariant
-            raise ModelError(f"user {uid} has no remaining capacity")
-        self.remaining[i] -= 1
+#: Backwards-compatible name for the per-type pool (the sorted engine's
+#: pool is a strict superset of the old ``_TypeGroup``: ``unit_asks`` /
+#: ``consume`` / ``total_remaining`` behave identically).
+_TypeGroup = SortedTypePool
 
 
-def _group_by_type(asks: Mapping[int, Ask], num_types: int) -> Dict[int, _TypeGroup]:
-    """Split the ask profile into per-type vectorized pools.
+def _profile_arrays(
+    asks: Mapping[int, Ask],
+) -> "tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]":
+    """Flatten the ask profile into aligned arrays, in profile order."""
+    n = len(asks)
+    uid_arr = np.fromiter(asks.keys(), dtype=np.int64, count=n)
+    profile = list(asks.values())
+    type_arr = np.fromiter((a.task_type for a in profile), dtype=np.int64, count=n)
+    val_arr = np.fromiter((a.value for a in profile), dtype=np.float64, count=n)
+    cap_arr = np.fromiter((a.capacity for a in profile), dtype=np.int64, count=n)
+    return uid_arr, type_arr, val_arr, cap_arr
 
-    Iteration follows the profile's order (see
-    :func:`repro.core.extract.extract` for why order is load-bearing)."""
-    buckets: Dict[int, Tuple[List[int], List[float], List[int]]] = {}
-    for uid, ask in asks.items():
-        bucket = buckets.setdefault(ask.task_type, ([], [], []))
-        bucket[0].append(uid)
-        bucket[1].append(ask.value)
-        bucket[2].append(ask.capacity)
+
+def _pools_from_arrays(
+    uid_arr: np.ndarray,
+    type_arr: np.ndarray,
+    val_arr: np.ndarray,
+    cap_arr: np.ndarray,
+) -> Dict[int, SortedTypePool]:
+    """Split flattened ask arrays into per-type presorted pools.
+
+    Selection by ``flatnonzero`` keeps each pool in the profile's order
+    (see :func:`repro.core.extract.extract` for why order is
+    load-bearing)."""
     return {
-        tau: _TypeGroup(
-            np.asarray(ids, dtype=np.int64),
-            np.asarray(vals, dtype=np.float64),
-            np.asarray(caps, dtype=np.int64),
+        int(tau): SortedTypePool(
+            uid_arr[sel], val_arr[sel], cap_arr[sel]
         )
-        for tau, (ids, vals, caps) in buckets.items()
+        for tau in np.unique(type_arr)
+        for sel in (np.flatnonzero(type_arr == tau),)
     }
+
+
+def _group_by_type(
+    asks: Mapping[int, Ask], num_types: int
+) -> Dict[int, SortedTypePool]:
+    """Split the ask profile into per-type presorted pools."""
+    return _pools_from_arrays(*_profile_arrays(asks))

@@ -1,0 +1,276 @@
+"""Performance baseline for the RIT auction engine (``rit bench``).
+
+Runs the :mod:`benchmarks.test_scaling` hero workload — a full RIT run at a
+configurable scale (default: the ``test_full_rit_run_2k_users`` shape of
+2 000 users, 10 types, 100 tasks per type) — once per engine, and emits a
+machine-readable document (``BENCH_RIT.json``) so future PRs can track the
+performance trajectory:
+
+* per-engine wall-clock seconds (p50 / p95 / mean / min) and ops/sec over
+  ``reps`` repetitions with distinct run seeds;
+* per-stage totals (sample / consensus / select / consume) for the sorted
+  engine, p50 / p95 across repetitions;
+* the sorted-vs-reference speedup and the speedup against the recorded
+  pre-engine baseline (:data:`PRE_PR_BASELINE`).
+
+:func:`validate_bench_schema` is the committed document's schema check,
+exercised by the tier-1 suite (``tests/devtools/test_bench.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.core.engine import STAGE_NAMES
+from repro.core.exceptions import ConfigurationError
+from repro.core.rit import ENGINES, RIT
+from repro.core.types import Job
+from repro.workloads.scenarios import paper_scenario
+from repro.workloads.users import UserDistribution
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "PRE_PR_BASELINE",
+    "run_scaling_bench",
+    "validate_bench_schema",
+    "write_bench",
+]
+
+#: Bump when the JSON layout changes incompatibly.
+BENCH_SCHEMA_VERSION = 1
+
+#: Wall-clock p50 of the 2k-user workload measured on the commit *before*
+#: the incremental sorted engine landed (full per-round argsort auction +
+#: node-at-a-time tree payments), interleaved with the new engine on the
+#: same machine (warmup + 25 reps, run seeds 0..24, scenario seed 2).
+#: Recorded here so every regenerated ``BENCH_RIT.json`` carries the
+#: before/after pair; see EXPERIMENTS.md ("Performance") for the protocol.
+PRE_PR_BASELINE: Dict[str, Any] = {
+    "total_p50_seconds": 0.0113,
+    "auction_p50_seconds": 0.0042,
+    "commit": "1f8922f",
+    "workload": "users=2000 types=10 tasks_per_type=100 until-complete",
+}
+
+
+def _percentile(samples: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile of ``samples`` (``fraction`` in [0, 1])."""
+    if not samples:
+        raise ConfigurationError("percentile of an empty sample set")
+    ordered = sorted(samples)
+    rank = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
+    return float(ordered[rank])
+
+
+def _summary(samples: Sequence[float]) -> Dict[str, float]:
+    return {
+        "p50": _percentile(samples, 0.50),
+        "p95": _percentile(samples, 0.95),
+        "mean": float(sum(samples) / len(samples)),
+        "min": float(min(samples)),
+    }
+
+
+def _machine_info() -> Dict[str, Any]:
+    return {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "cpu_count": os.cpu_count() or 1,
+    }
+
+
+def run_scaling_bench(
+    *,
+    users: int = 2_000,
+    types: int = 10,
+    tasks_per_type: int = 100,
+    reps: int = 15,
+    seed: int = 0,
+    scenario_seed: int = 2,
+    engines: Sequence[str] = ENGINES,
+    round_budget: str = "until-complete",
+) -> Dict[str, Any]:
+    """Time a full RIT run per engine and return the bench document.
+
+    Each repetition reuses the same scenario (workload generation is not
+    what is being measured) but runs the mechanism with a distinct run
+    seed ``seed + rep`` so round counts vary realistically.  The default
+    ``scenario_seed=2`` reproduces the exact workload of
+    ``benchmarks/test_scaling.py::test_full_rit_run_2k_users`` so the
+    numbers are comparable to :data:`PRE_PR_BASELINE`.
+    """
+    if reps <= 0:
+        raise ConfigurationError(f"reps must be >= 1, got {reps}")
+    for engine in engines:
+        if engine not in ENGINES:
+            raise ConfigurationError(
+                f"engine must be one of {ENGINES}, got {engine!r}"
+            )
+    job = Job.uniform(types, tasks_per_type)
+    scenario = paper_scenario(
+        users,
+        job,
+        rng=scenario_seed,
+        distribution=UserDistribution(num_types=types),
+    )
+    asks = scenario.truthful_asks()
+
+    engine_docs: Dict[str, Any] = {}
+    for engine in engines:
+        mech = RIT(round_budget=round_budget, engine=engine)
+        # One untimed warmup run: first-call costs (allocator growth, numpy
+        # ufunc caches) are not part of the steady-state trajectory.
+        mech.run(job, asks, scenario.tree, np.random.default_rng(seed))
+        totals: List[float] = []
+        auctions: List[float] = []
+        stage_samples: Dict[str, List[float]] = {s: [] for s in STAGE_NAMES}
+        completed = True
+        for rep in range(reps):
+            t0 = time.perf_counter()
+            out = mech.run(
+                job, asks, scenario.tree, np.random.default_rng(seed + rep)
+            )
+            totals.append(time.perf_counter() - t0)
+            auctions.append(out.elapsed_auction)
+            completed = completed and out.completed
+            for stage in STAGE_NAMES:
+                if stage in out.stage_timings:
+                    stage_samples[stage].append(out.stage_timings[stage])
+        doc: Dict[str, Any] = {
+            "completed_all_reps": completed,
+            "seconds": _summary(totals),
+            "auction_seconds": _summary(auctions),
+            "ops_per_sec": 1.0 / _percentile(totals, 0.50),
+            "stages": {
+                stage: _summary(samples)
+                for stage, samples in stage_samples.items()
+                if samples
+            },
+        }
+        engine_docs[engine] = doc
+
+    result: Dict[str, Any] = {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "benchmark": "full_rit_run",
+        "config": {
+            "users": users,
+            "types": types,
+            "tasks_per_type": tasks_per_type,
+            "reps": reps,
+            "seed": seed,
+            "scenario_seed": scenario_seed,
+            "round_budget": round_budget,
+        },
+        "machine": _machine_info(),
+        "engines": engine_docs,
+        "pre_pr_baseline": dict(PRE_PR_BASELINE),
+    }
+    if "sorted" in engine_docs and "reference" in engine_docs:
+        result["speedup_sorted_vs_reference"] = (
+            engine_docs["reference"]["seconds"]["p50"]
+            / engine_docs["sorted"]["seconds"]["p50"]
+        )
+    if "sorted" in engine_docs:
+        result["speedup_vs_pre_pr"] = (
+            PRE_PR_BASELINE["total_p50_seconds"]
+            / engine_docs["sorted"]["seconds"]["p50"]
+        )
+    return result
+
+
+def write_bench(result: Mapping[str, Any], path: str) -> None:
+    """Serialize a bench document to ``path`` (pretty, trailing newline)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(result, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+
+
+def validate_bench_schema(doc: Any) -> List[str]:
+    """Return a list of schema violations (empty when the document is valid).
+
+    Intentionally dependency-free (no jsonschema): the checks mirror what
+    :func:`run_scaling_bench` emits and what the trajectory tooling reads.
+    """
+    errors: List[str] = []
+    if not isinstance(doc, dict):
+        return ["document is not a JSON object"]
+
+    def _require(key: str, kind: type) -> Optional[Any]:
+        if key not in doc:
+            errors.append(f"missing key {key!r}")
+            return None
+        if not isinstance(doc[key], kind):
+            errors.append(f"{key!r} is not a {kind.__name__}")
+            return None
+        return doc[key]
+
+    version = _require("schema_version", int)
+    if version is not None and version != BENCH_SCHEMA_VERSION:
+        errors.append(
+            f"schema_version {version} != expected {BENCH_SCHEMA_VERSION}"
+        )
+    config = _require("config", dict)
+    if config is not None:
+        for key in ("users", "types", "tasks_per_type", "reps"):
+            if not isinstance(config.get(key), int) or config[key] <= 0:
+                errors.append(f"config.{key} must be a positive int")
+        for key in ("seed", "scenario_seed"):
+            if not isinstance(config.get(key), int):
+                errors.append(f"config.{key} must be an int")
+    machine = _require("machine", dict)
+    if machine is not None:
+        for key in ("platform", "python", "numpy"):
+            if not isinstance(machine.get(key), str):
+                errors.append(f"machine.{key} must be a string")
+    baseline = _require("pre_pr_baseline", dict)
+    if baseline is not None:
+        if not isinstance(baseline.get("total_p50_seconds"), float):
+            errors.append("pre_pr_baseline.total_p50_seconds must be a float")
+    engines = _require("engines", dict)
+    if engines is not None:
+        if not engines:
+            errors.append("engines is empty")
+        for name, engine_doc in engines.items():
+            prefix = f"engines.{name}"
+            if name not in ENGINES:
+                errors.append(f"{prefix}: unknown engine")
+                continue
+            if not isinstance(engine_doc, dict):
+                errors.append(f"{prefix} is not an object")
+                continue
+            if engine_doc.get("completed_all_reps") is not True:
+                errors.append(f"{prefix}.completed_all_reps must be true")
+            for block in ("seconds", "auction_seconds"):
+                summary = engine_doc.get(block)
+                if not isinstance(summary, dict):
+                    errors.append(f"{prefix}.{block} is not an object")
+                    continue
+                for stat in ("p50", "p95", "mean", "min"):
+                    value = summary.get(stat)
+                    if not isinstance(value, float) or value < 0.0:
+                        errors.append(
+                            f"{prefix}.{block}.{stat} must be a "
+                            "non-negative float"
+                        )
+            ops = engine_doc.get("ops_per_sec")
+            if not isinstance(ops, float) or ops <= 0.0:
+                errors.append(f"{prefix}.ops_per_sec must be a positive float")
+            stages = engine_doc.get("stages")
+            if not isinstance(stages, dict):
+                errors.append(f"{prefix}.stages is not an object")
+            else:
+                for stage in stages:
+                    if stage not in STAGE_NAMES:
+                        errors.append(f"{prefix}.stages.{stage}: unknown stage")
+                if name == "sorted" and set(stages) != set(STAGE_NAMES):
+                    errors.append(
+                        f"{prefix}.stages must cover all of {STAGE_NAMES}"
+                    )
+    return errors

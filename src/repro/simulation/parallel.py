@@ -70,7 +70,7 @@ def run_repetitions_parallel(
     ----------
     workers:
         Process count; defaults to ``min(reps, cpu_count)``.  ``1`` (or an
-    unavailable ``fork`` start method) runs serially in-process.
+        unavailable ``fork`` start method) runs serially in-process.
     """
     if reps < 1:
         raise ConfigurationError(f"reps must be >= 1, got {reps}")

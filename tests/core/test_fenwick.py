@@ -1,0 +1,121 @@
+"""Tests for the Fenwick tree backing the sorted auction engine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.exceptions import ConfigurationError
+from repro.core.fenwick import FenwickTree
+
+
+def linear_locate(counts, j):
+    """Reference for ``locate``: scan the cumulative sum."""
+    running = 0
+    for i, c in enumerate(counts):
+        if running + c >= j:
+            return i, j - running
+        running += c
+    raise AssertionError("j out of range")
+
+
+class TestConstruction:
+    def test_rejects_2d(self):
+        with pytest.raises(ConfigurationError):
+            FenwickTree(np.zeros((2, 2), dtype=np.int64))
+
+    def test_rejects_negative_counts(self):
+        with pytest.raises(ConfigurationError):
+            FenwickTree(np.array([1, -1, 2]))
+
+    def test_empty_tree(self):
+        tree = FenwickTree(np.empty(0, dtype=np.int64))
+        assert len(tree) == 0
+        assert tree.total == 0
+        assert tree.prefix(0) == 0
+
+    def test_build_matches_cumsum(self):
+        counts = np.array([3, 0, 5, 1, 0, 0, 7, 2])
+        tree = FenwickTree(counts)
+        cumulative = np.cumsum(counts)
+        assert tree.prefix(0) == 0
+        for k in range(1, counts.size + 1):
+            assert tree.prefix(k) == cumulative[k - 1]
+        assert tree.total == int(counts.sum())
+
+
+class TestMutation:
+    def test_add_and_get(self):
+        counts = np.array([2, 4, 0, 1])
+        tree = FenwickTree(counts)
+        tree.add(1, -3)
+        tree.add(2, 5)
+        expected = np.array([2, 1, 5, 1])
+        assert np.array_equal(tree.to_array(), expected)
+        assert tree.total == int(expected.sum())
+        for i, value in enumerate(expected):
+            assert tree.get(i) == value
+
+    def test_bounds_checks(self):
+        tree = FenwickTree(np.array([1, 2]))
+        with pytest.raises(ConfigurationError):
+            tree.prefix(3)
+        with pytest.raises(ConfigurationError):
+            tree.prefix(-1)
+        with pytest.raises(ConfigurationError):
+            tree.add(2, 1)
+        with pytest.raises(ConfigurationError):
+            tree.locate(0)
+        with pytest.raises(ConfigurationError):
+            tree.locate(4)
+
+
+class TestLocate:
+    def test_locate_matches_linear_scan(self):
+        counts = np.array([0, 3, 0, 0, 2, 1, 0, 4])
+        tree = FenwickTree(counts)
+        for j in range(1, int(counts.sum()) + 1):
+            assert tree.locate(j) == linear_locate(counts, j)
+
+    def test_locate_single_entry(self):
+        tree = FenwickTree(np.array([5]))
+        assert tree.locate(1) == (0, 1)
+        assert tree.locate(5) == (0, 5)
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        counts=st.lists(
+            st.integers(min_value=0, max_value=6), min_size=1, max_size=40
+        ),
+        data=st.data(),
+    )
+    def test_locate_and_prefix_properties(self, counts, data):
+        arr = np.array(counts, dtype=np.int64)
+        tree = FenwickTree(arr)
+        cumulative = np.cumsum(arr)
+        k = data.draw(st.integers(min_value=0, max_value=arr.size))
+        assert tree.prefix(k) == (0 if k == 0 else int(cumulative[k - 1]))
+        if tree.total:
+            j = data.draw(st.integers(min_value=1, max_value=tree.total))
+            pos, rem = tree.locate(j)
+            assert (pos, rem) == linear_locate(counts, j)
+            assert 1 <= rem <= arr[pos]
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        counts=st.lists(
+            st.integers(min_value=0, max_value=5), min_size=1, max_size=25
+        ),
+        updates=st.lists(st.integers(min_value=0, max_value=24), max_size=10),
+    )
+    def test_add_keeps_prefixes_consistent(self, counts, updates):
+        arr = np.array(counts, dtype=np.int64)
+        tree = FenwickTree(arr)
+        shadow = arr.copy()
+        for raw in updates:
+            i = raw % arr.size
+            delta = 1 if shadow[i] == 0 else -1
+            tree.add(i, delta)
+            shadow[i] += delta
+        assert np.array_equal(tree.to_array(), shadow)
+        assert tree.total == int(shadow.sum())

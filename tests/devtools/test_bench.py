@@ -1,0 +1,109 @@
+"""Smoke tests for the ``rit bench`` performance baseline tooling."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.core.exceptions import ConfigurationError
+from repro.devtools.bench import (
+    BENCH_SCHEMA_VERSION,
+    run_scaling_bench,
+    validate_bench_schema,
+    write_bench,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+COMMITTED_BENCH = REPO_ROOT / "BENCH_RIT.json"
+
+TINY = dict(users=80, types=2, tasks_per_type=5, reps=2, seed=0)
+
+
+class TestRunScalingBench:
+    def test_tiny_config_produces_valid_document(self):
+        doc = run_scaling_bench(**TINY)
+        assert validate_bench_schema(doc) == []
+        assert doc["schema_version"] == BENCH_SCHEMA_VERSION
+        assert set(doc["engines"]) == {"sorted", "reference"}
+        assert doc["speedup_sorted_vs_reference"] > 0.0
+        assert doc["speedup_vs_pre_pr"] > 0.0
+        sorted_doc = doc["engines"]["sorted"]
+        assert sorted_doc["completed_all_reps"] is True
+        assert sorted_doc["seconds"]["min"] <= sorted_doc["seconds"]["p50"]
+        assert set(sorted_doc["stages"]) == {
+            "sample",
+            "consensus",
+            "select",
+            "consume",
+        }
+        # The reference engine reports no stage breakdown.
+        assert doc["engines"]["reference"]["stages"] == {}
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ConfigurationError):
+            run_scaling_bench(**{**TINY, "reps": 0})
+        with pytest.raises(ConfigurationError):
+            run_scaling_bench(**{**TINY, "engines": ("bogus",)})
+
+    def test_single_engine_omits_speedups(self):
+        doc = run_scaling_bench(**TINY, engines=("reference",))
+        assert "speedup_sorted_vs_reference" not in doc
+        assert "speedup_vs_pre_pr" not in doc
+        assert validate_bench_schema(doc) == []
+
+
+class TestValidateSchema:
+    def test_rejects_non_object(self):
+        assert validate_bench_schema([]) != []
+
+    def test_reports_missing_keys(self):
+        errors = validate_bench_schema({})
+        assert any("schema_version" in e for e in errors)
+        assert any("engines" in e for e in errors)
+
+    def test_flags_unknown_engine_and_stage(self):
+        doc = run_scaling_bench(**TINY)
+        doc["engines"]["bogus"] = doc["engines"]["sorted"]
+        assert any("unknown engine" in e for e in validate_bench_schema(doc))
+
+
+class TestCommittedBaseline:
+    def test_committed_bench_json_is_valid(self):
+        assert COMMITTED_BENCH.exists(), "BENCH_RIT.json must be committed"
+        doc = json.loads(COMMITTED_BENCH.read_text())
+        assert validate_bench_schema(doc) == []
+        # The acceptance bar this PR shipped against: >= 2x vs pre-engine.
+        assert doc["speedup_vs_pre_pr"] >= 2.0
+        assert doc["config"]["users"] == 2000
+        assert doc["config"]["scenario_seed"] == 2
+
+
+class TestCLI:
+    def test_bench_subcommand_writes_json(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        code = main(
+            [
+                "bench",
+                "--users", "80",
+                "--types", "2",
+                "--tasks-per-type", "5",
+                "--reps", "2",
+                "--out", str(out),
+            ]
+        )
+        assert code == 0
+        doc = json.loads(out.read_text())
+        assert validate_bench_schema(doc) == []
+        stdout = capsys.readouterr().out
+        assert "speedup sorted vs reference" in stdout
+        assert str(out) in stdout
+
+
+def test_write_bench_round_trips(tmp_path):
+    doc = run_scaling_bench(**TINY)
+    path = tmp_path / "b.json"
+    write_bench(doc, str(path))
+    assert json.loads(path.read_text()) == json.loads(
+        json.dumps(doc)
+    )
