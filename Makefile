@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test lint typecheck check bench bench-pytest bench-json smoke paper report examples clean
+.PHONY: install test lint typecheck check trace trace-smoke bench bench-pytest bench-json smoke paper report examples clean
 
 install:
 	pip install -e .
@@ -27,8 +27,19 @@ typecheck:
 		echo "mypy not installed; skipping (pip install -e .[dev])"; \
 	fi
 
-# The full gate new PRs must pass: domain lint + types + tier-1 tests.
-check: lint typecheck test
+# Traced demo run: JSONL event log + span tree + metrics snapshot
+# (see docs/observability.md for the schema).
+trace:
+	PYTHONPATH=src $(PY) -m repro trace --out TRACE_RIT.jsonl
+
+# CI gate: run a traced demo scenario and validate the emitted JSONL
+# against the trace schema + span/counter coverage.
+trace-smoke:
+	PYTHONPATH=src $(PY) -m repro trace --smoke --out /tmp/rit_trace_smoke.jsonl
+
+# The full gate new PRs must pass: domain lint + types + tier-1 tests
+# + the trace schema smoke.
+check: lint typecheck test trace-smoke
 
 # Fast perf baseline: times the scaling workload on both auction engines
 # and refreshes BENCH_RIT.json (the committed perf trajectory).

@@ -19,6 +19,7 @@ from repro.core.exceptions import AttackError
 from repro.core.mechanism import Mechanism
 from repro.core.rng import SeedLike, spawn_seeds
 from repro.core.types import Ask, Job
+from repro.obs.tracer import NULL_TRACER, NullTracer
 from repro.tree.incentive_tree import IncentiveTree
 
 __all__ = ["AttackComparison", "compare_sybil_attack", "compare_misreport"]
@@ -80,6 +81,7 @@ def compare_sybil_attack(
     reps: int = 10,
     rng: SeedLike = None,
     true_capacity: Optional[int] = None,
+    tracer: Optional[NullTracer] = None,
 ) -> AttackComparison:
     """Evaluate a sybil attack against honest play.
 
@@ -87,26 +89,38 @@ def compare_sybil_attack(
     times on the attacked scenario, with paired seeds spawned from ``rng``,
     and compares the victim's honest utility ``U_j(t_j, K_j, c_j)`` with
     the identities' total utility ``Σ_l U_{j_l}``.
+
+    ``tracer`` (see :mod:`repro.obs`) wraps the comparison in an
+    ``attack`` span and routes it into the paired mechanism runs.
     """
     if reps < 1:
         raise AttackError(f"reps must be >= 1, got {reps}")
+    tracer = tracer if tracer is not None else NULL_TRACER
+    tracing = tracer.enabled
+    mech = mechanism.with_tracer(tracer) if tracing else mechanism
     attacked_asks, attacked_tree, identity_ids = apply_attack(
         attack, asks, tree, true_capacity=true_capacity
     )
     seeds = spawn_seeds(rng, reps)
     honest: List[float] = []
     deviant: List[float] = []
-    for r in range(reps):
-        # Common random numbers: both runs replay the same coin stream, so
-        # the comparison isolates the attack's effect (when the identities
-        # claim the same total capacity, the unit-ask vectors have equal
-        # length and CRA draws line up one-to-one).
-        honest_out = mechanism.run(job, asks, tree, np.random.default_rng(seeds[r]))
-        honest.append(honest_out.utility_of(attack.victim, cost))
-        attacked_out = mechanism.run(
-            job, attacked_asks, attacked_tree, np.random.default_rng(seeds[r])
-        )
-        deviant.append(attacked_out.group_utility(identity_ids, cost))
+    with tracer.run_span(), tracer.span(
+        "attack", kind="sybil", victim=int(attack.victim), reps=reps
+    ):
+        if tracing:
+            tracer.count("attack_comparisons")
+            tracer.count("sybil_identities_spawned", len(identity_ids))
+        for r in range(reps):
+            # Common random numbers: both runs replay the same coin stream,
+            # so the comparison isolates the attack's effect (when the
+            # identities claim the same total capacity, the unit-ask vectors
+            # have equal length and CRA draws line up one-to-one).
+            honest_out = mech.run(job, asks, tree, np.random.default_rng(seeds[r]))
+            honest.append(honest_out.utility_of(attack.victim, cost))
+            attacked_out = mech.run(
+                job, attacked_asks, attacked_tree, np.random.default_rng(seeds[r])
+            )
+            deviant.append(attacked_out.group_utility(identity_ids, cost))
     return AttackComparison(
         honest_utility=_mean(honest),
         deviant_utility=_mean(deviant),
@@ -126,29 +140,44 @@ def compare_misreport(
     *,
     reps: int = 10,
     rng: SeedLike = None,
+    tracer: Optional[NullTracer] = None,
 ) -> AttackComparison:
     """Evaluate an ask-value misreport against honest play.
 
     The honest profile must already contain the user's truthful ask
     (``a_j = c_j``); the deviant profile replaces it with
-    ``reported_value``.
+    ``reported_value``.  ``tracer`` behaves as in
+    :func:`compare_sybil_attack`.
     """
     if reps < 1:
         raise AttackError(f"reps must be >= 1, got {reps}")
+    tracer = tracer if tracer is not None else NULL_TRACER
+    tracing = tracer.enabled
+    mech = mechanism.with_tracer(tracer) if tracing else mechanism
     deviant_asks = misreport_value(asks, user_id, reported_value)
     seeds = spawn_seeds(rng, reps)
     honest: List[float] = []
     deviant: List[float] = []
-    for r in range(reps):
-        # Common random numbers (see compare_sybil_attack): a value-only
-        # misreport keeps the unit-ask vector length, so paired streams
-        # make the comparison nearly noise-free.
-        honest_out = mechanism.run(job, asks, tree, np.random.default_rng(seeds[r]))
-        honest.append(honest_out.utility_of(user_id, cost))
-        deviant_out = mechanism.run(
-            job, deviant_asks, tree, np.random.default_rng(seeds[r])
-        )
-        deviant.append(deviant_out.utility_of(user_id, cost))
+    with tracer.run_span(), tracer.span(
+        "attack",
+        kind="misreport",
+        user=int(user_id),
+        reported=float(reported_value),
+        reps=reps,
+    ):
+        if tracing:
+            tracer.count("attack_comparisons")
+            tracer.count("misreports_evaluated", reps)
+        for r in range(reps):
+            # Common random numbers (see compare_sybil_attack): a value-only
+            # misreport keeps the unit-ask vector length, so paired streams
+            # make the comparison nearly noise-free.
+            honest_out = mech.run(job, asks, tree, np.random.default_rng(seeds[r]))
+            honest.append(honest_out.utility_of(user_id, cost))
+            deviant_out = mech.run(
+                job, deviant_asks, tree, np.random.default_rng(seeds[r])
+            )
+            deviant.append(deviant_out.utility_of(user_id, cost))
     return AttackComparison(
         honest_utility=_mean(honest),
         deviant_utility=_mean(deviant),

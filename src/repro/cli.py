@@ -12,6 +12,10 @@ Subcommands
 ``rit demo``              run one end-to-end scenario and print a summary.
 ``rit bench``             run the auction-engine scaling benchmark and write
                           ``BENCH_RIT.json`` (the perf trajectory seed).
+``rit trace``             run one traced scenario, write the JSONL event log,
+                          and print the span tree + metrics snapshot
+                          (``--smoke`` validates the trace against the
+                          schema for CI).
 ``rit lint``              run the AST-based domain linter over the tree
                           (also: ``python -m repro.devtools.lint``).
 """
@@ -19,6 +23,7 @@ Subcommands
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -147,9 +152,42 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default="BENCH_RIT.json", help="output JSON path"
     )
 
+    p_trace = sub.add_parser(
+        "trace",
+        help="run a traced scenario and write the JSONL event log",
+    )
+    p_trace.add_argument("--users", type=int, default=400)
+    p_trace.add_argument("--types", type=int, default=4)
+    p_trace.add_argument("--tasks-per-type", type=int, default=40)
+    p_trace.add_argument(
+        "--seed", type=int, default=0, help="root seed (also names the run)"
+    )
+    p_trace.add_argument(
+        "--out", default="TRACE_RIT.jsonl", help="JSONL event-log path"
+    )
+    p_trace.add_argument(
+        "--metrics",
+        choices=["prometheus", "json"],
+        default="prometheus",
+        help="metrics snapshot format",
+    )
+    p_trace.add_argument(
+        "--metrics-out", default=None,
+        help="write the metrics snapshot here instead of stdout",
+    )
+    p_trace.add_argument(
+        "--max-depth", type=int, default=None,
+        help="truncate the printed span tree below this depth",
+    )
+    p_trace.add_argument(
+        "--smoke", action="store_true",
+        help="validate the emitted trace against the schema and the "
+        "span/counter coverage gate; nonzero exit on any problem",
+    )
+
     p_lint = sub.add_parser(
         "lint",
-        help="run the RIT domain linter (RIT001-RIT006 invariants)",
+        help="run the RIT domain linter (RIT001-RIT007 invariants)",
     )
     from repro.devtools.lint.cli import add_arguments as _add_lint_arguments
 
@@ -364,6 +402,77 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.core import RIT, Job
+    from repro.obs import (
+        Tracer,
+        config_hash,
+        format_metrics_json,
+        format_prometheus,
+        render_span_tree,
+    )
+    from repro.workloads import paper_scenario
+    from repro.workloads.users import UserDistribution
+
+    seed = int(args.seed)
+    config = {
+        "scenario": "paper",
+        "users": int(args.users),
+        "types": int(args.types),
+        "tasks_per_type": int(args.tasks_per_type),
+        "h": 0.8,
+        "round_budget": "until-complete",
+    }
+    # Derived from the inputs, not wall time / uuid: same-seed reruns get
+    # the same run id and a canonically identical event stream.
+    run_id = f"rit-{seed}-{config_hash(config)}"
+    tracer = Tracer(run_id, seed=seed, config=config)
+
+    job = Job.uniform(args.types, args.tasks_per_type)
+    scenario = paper_scenario(
+        args.users,
+        job,
+        seed,
+        distribution=UserDistribution(num_types=args.types),
+    )
+    mechanism = RIT(h=0.8, round_budget="until-complete", tracer=tracer)
+    outcome = mechanism.run(job, scenario.truthful_asks(), scenario.tree, seed)
+
+    tracer.write_jsonl(args.out)
+    print(f"run {run_id}: completed={outcome.completed}  "
+          f"events={len(tracer.events)}  spans+counters -> {args.out}")
+    print()
+    print(render_span_tree(tracer.events, max_depth=args.max_depth))
+
+    snapshot = tracer.snapshot()
+    if args.metrics == "prometheus":
+        metrics_text = format_prometheus(snapshot)
+    else:
+        metrics_text = json.dumps(format_metrics_json(snapshot), indent=2)
+    if args.metrics_out:
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            handle.write(metrics_text + "\n")
+        print(f"metrics -> {args.metrics_out}")
+    else:
+        print()
+        print(metrics_text)
+
+    if args.smoke:
+        from repro.obs.events import read_jsonl
+        from repro.devtools.trace_schema import check_coverage
+
+        problems = check_coverage(read_jsonl(args.out))
+        if problems:
+            print(f"\ntrace smoke FAILED ({len(problems)} problems):")
+            for problem in problems:
+                print(f"  {problem}")
+            return 1
+        counters = sum(1 for e in tracer.events if e["ev"] == "counter")
+        print(f"\ntrace smoke OK: schema v{tracer.events[0]['schema_version']}, "
+              f"{counters} counter events, coverage gate passed")
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.devtools.lint.cli import run as run_lint
 
@@ -380,6 +489,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "report": _cmd_report,
         "audit": _cmd_audit,
         "bench": _cmd_bench,
+        "trace": _cmd_trace,
         "lint": _cmd_lint,
     }
     return handlers[args.command](args)

@@ -42,12 +42,14 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from typing import Optional
 
 import numpy as np
 
 from repro.core import consensus
 from repro.core.exceptions import ConfigurationError
 from repro.core.rng import SeedLike, as_generator
+from repro.obs.tracer import NullTracer
 
 __all__ = ["CRAResult", "cra"]
 
@@ -117,6 +119,7 @@ def cra(
     rng: SeedLike = None,
     *,
     sample_rate_scale: float = 1.0,
+    tracer: Optional[NullTracer] = None,
 ) -> CRAResult:
     """Run one CRA round (Algorithm 1) over unit-ask values ``α``.
 
@@ -139,6 +142,10 @@ def cra(
         candidate down (min of more draws) but enlarge the coalition's
         chance of touching the sample — the ``E_s`` term of Lemma 6.2
         scales with it.  Keep the default 1.0 for the paper's mechanism.
+    tracer:
+        Optional :mod:`repro.obs` tracer receiving the sample-stage
+        counters (``sample_units_drawn``, ``empty_samples``); the default
+        records nothing and costs nothing.
 
     Returns
     -------
@@ -158,6 +165,7 @@ def cra(
         )
     gen = as_generator(rng)
     cap = q + m_i
+    tracing = tracer is not None and tracer.enabled
 
     # Lines 2-3: sample each ask independently with probability 1/(q+m_i);
     # the price candidate is the smallest sampled value.
@@ -165,9 +173,13 @@ def cra(
     rate = min(1.0, sample_rate_scale / cap)
     mask = gen.random(values.shape[0]) < rate
     sample = np.flatnonzero(mask)
+    if tracing:
+        tracer.count("sample_units_drawn", int(sample.size))
     if sample.size == 0:
         # The paper leaves an empty sample implicit; with no price candidate
         # the round cannot clear — no winners.
+        if tracing:
+            tracer.count("empty_samples")
         return _empty_result(offset, sample)
     s = float(values[sample].min())
 

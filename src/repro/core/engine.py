@@ -28,10 +28,11 @@ field matches the reference exactly, seed by seed.
 
 Stage timing
 ------------
-Passing a :class:`StageTimers` accumulates wall-clock seconds for the
-``sample`` / ``consensus`` / ``select`` stages (plus ``consume``, which the
-caller times around capacity updates); :class:`repro.core.rit.RIT`
-surfaces the totals on
+Passing a :class:`repro.obs.StageTimers` accumulates monotonic-clock
+seconds for the ``sample`` / ``consensus`` / ``select`` stages (plus
+``consume``, which the caller times around capacity updates) — all read
+through the timers' injected clock, never ``time.*`` directly (lint rule
+RIT007).  :class:`repro.core.rit.RIT` surfaces the totals on
 :attr:`repro.core.outcome.MechanismOutcome.stage_timings` and ``rit
 bench`` turns them into the ``BENCH_RIT.json`` trajectory.
 """
@@ -39,8 +40,6 @@ bench`` turns them into the ``BENCH_RIT.json`` trajectory.
 from __future__ import annotations
 
 import math
-import time
-from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 import numpy as np
@@ -50,33 +49,10 @@ from repro.core.cra import CRAResult, _empty_result
 from repro.core.exceptions import ConfigurationError, ModelError
 from repro.core.fenwick import FenwickTree
 from repro.core.rng import SeedLike, as_generator
+from repro.obs.timers import STAGE_NAMES, StageTimers
+from repro.obs.tracer import NullTracer
 
-__all__ = ["StageTimers", "SortedTypePool", "cra_presorted"]
-
-#: Stage keys reported by the engine, in pipeline order.
-STAGE_NAMES = ("sample", "consensus", "select", "consume")
-
-
-@dataclass
-class StageTimers:
-    """Mutable accumulator of per-stage wall-clock seconds.
-
-    One instance is shared across every CRA round of a mechanism run; the
-    totals therefore aggregate over rounds and task types.
-    """
-
-    sample: float = 0.0
-    consensus: float = 0.0
-    select: float = 0.0
-    consume: float = 0.0
-
-    def as_dict(self) -> Dict[str, float]:
-        return {
-            "sample": self.sample,
-            "consensus": self.consensus,
-            "select": self.select,
-            "consume": self.consume,
-        }
+__all__ = ["STAGE_NAMES", "StageTimers", "SortedTypePool", "cra_presorted"]
 
 
 def _ranges(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
@@ -248,6 +224,7 @@ def cra_presorted(
     *,
     sample_rate_scale: float = 1.0,
     timers: Optional[StageTimers] = None,
+    tracer: Optional[NullTracer] = None,
 ) -> CRAResult:
     """Run one CRA round (Algorithm 1) against a presorted pool.
 
@@ -256,6 +233,10 @@ def cra_presorted(
     RNG-compatibility contract), same :class:`CRAResult` bit for bit.
     Winner indices refer to this round's unit pool; translate them with
     :meth:`SortedTypePool.unit_owners` *before* consuming capacity.
+
+    ``timers`` accumulates per-stage seconds on its injected clock;
+    ``tracer`` (when enabled) receives the sample-stage counters — both
+    are optional and add no per-unit work when omitted.
     """
     if q <= 0:
         raise ConfigurationError(f"q must be >= 1, got {q}")
@@ -267,31 +248,39 @@ def cra_presorted(
         )
     gen = as_generator(rng)
     cap = q + m_i
+    clock = timers.clock if timers is not None else None
+    tracing = tracer is not None and tracer.enabled
 
     # Sample stage (lines 2-4): offset plus one uniform per alive unit, in
     # original unit-pool order — the draws the reference makes.
-    t0 = time.perf_counter()
+    t0 = clock() if clock is not None else 0.0
     offset = float(gen.uniform(0.0, 1.0))
     rate = min(1.0, sample_rate_scale / cap)
     mask = gen.random(pool.total_remaining()) < rate
     sample = np.flatnonzero(mask)
+    if tracing:
+        tracer.count("sample_units_drawn", int(sample.size))
     if sample.size == 0:
-        if timers is not None:
-            timers.sample += time.perf_counter() - t0
+        if clock is not None:
+            timers.sample += clock() - t0
+        if tracing:
+            tracer.count("empty_samples")
         return _empty_result(offset, sample)
     bounds = pool.round_bounds()
     s = float(pool.values[pool.unit_user_positions(sample, bounds)].min())
-    t1 = time.perf_counter()
+    t1 = clock() if clock is not None else 0.0
 
     # Consensus stage (line 5): z_s from the Fenwick prefix over the
     # presorted values instead of a linear scan.
     z_s = pool.alive_at_most(s)
     n_s_real = consensus.round_down_to_grid(float(z_s), offset)
     n_s = int(math.floor(n_s_real))
-    t2 = time.perf_counter()
-    if timers is not None:
+    if clock is not None:
+        t2 = clock()
         timers.sample += t1 - t0
         timers.consensus += t2 - t1
+    else:
+        t2 = 0.0
     if n_s <= 0:
         return _empty_result(offset, sample)
 
@@ -303,8 +292,8 @@ def cra_presorted(
         chosen = chosen[keep]
         chosen_values = chosen_values[keep]
         if chosen.size == 0:
-            if timers is not None:
-                timers.select += time.perf_counter() - t2
+            if clock is not None:
+                timers.select += clock() - t2
             return _empty_result(offset, sample)
     if chosen.size > cap:
         # ``chosen`` is already in (value, unit-position) order, so the
@@ -315,8 +304,8 @@ def cra_presorted(
     if chosen.size > q:
         chosen = gen.choice(chosen, size=q, replace=False)
     winners = np.sort(chosen.astype(np.int64))
-    if timers is not None:
-        timers.select += time.perf_counter() - t2
+    if clock is not None:
+        timers.select += clock() - t2
     return CRAResult(
         winners=winners,
         price=s,

@@ -10,11 +10,13 @@ evaluator and the property checkers treat them uniformly.
 from __future__ import annotations
 
 import abc
+import copy
 from typing import Mapping
 
 from repro.core.outcome import MechanismOutcome
 from repro.core.rng import SeedLike
 from repro.core.types import Ask, Job
+from repro.obs.tracer import NULL_TRACER, NullTracer
 from repro.tree.incentive_tree import IncentiveTree
 
 __all__ = ["Mechanism"]
@@ -30,6 +32,23 @@ class Mechanism(abc.ABC):
 
     #: Human-readable mechanism name, used in reports and benchmarks.
     name: str = "mechanism"
+
+    #: Observability sink (see :mod:`repro.obs`).  The class-level default
+    #: is the shared no-op tracer, so uninstrumented mechanisms and
+    #: tracer-less runs stay zero-overhead; inject a recording tracer per
+    #: run with :meth:`with_tracer`.
+    tracer: NullTracer = NULL_TRACER
+
+    def with_tracer(self, tracer: NullTracer) -> "Mechanism":
+        """A shallow copy of this mechanism emitting into ``tracer``.
+
+        Mechanisms are stateless across runs, so a shallow copy sharing
+        every configuration attribute is safe; the original instance is
+        left untouched (its runs keep the no-op default).
+        """
+        clone = copy.copy(self)
+        clone.tracer = tracer
+        return clone
 
     @abc.abstractmethod
     def run(

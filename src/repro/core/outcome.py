@@ -62,14 +62,20 @@ class MechanismOutcome:
         Per-round diagnostics from the auction phase (kept even when the
         outcome is voided — useful for studying the failure mode).
     elapsed_auction / elapsed_total:
-        Wall-clock seconds spent in the auction phase and in the whole
-        mechanism (the Fig. 8 metrics).
+        Seconds spent in the auction phase and in the whole mechanism (the
+        Fig. 8 metrics), measured on the mechanism tracer's injected
+        monotonic clock (:mod:`repro.obs`).
     stage_timings:
-        Per-stage wall-clock seconds of the auction engine
+        Per-stage engine seconds
         (``sample`` / ``consensus`` / ``select`` / ``consume``), aggregated
-        over all CRA rounds.  Populated by the incremental sorted engine
-        (see :mod:`repro.core.engine`); empty for mechanisms/engines that
-        do not report stages.
+        over all CRA rounds.  This is a *view derived from the trace
+        clock*: the totals accumulate on
+        :class:`repro.obs.StageTimers` (driven by the tracer's clock) and,
+        when a recording tracer is attached, the same totals are emitted
+        into the event stream as ``stage_seconds/<stage>`` counters — the
+        field and the trace never disagree.  Populated by the incremental
+        sorted engine (see :mod:`repro.core.engine`); empty for
+        mechanisms/engines that do not report stages.
     """
 
     allocation: Dict[int, int] = field(default_factory=dict)

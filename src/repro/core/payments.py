@@ -30,12 +30,13 @@ testing.
 
 from __future__ import annotations
 
-from typing import Dict, Mapping
+from typing import Dict, Mapping, Optional
 
 import numpy as np
 
 from repro.core.exceptions import TreeError
 from repro.core.types import TaskType
+from repro.obs.tracer import NullTracer
 from repro.tree.incentive_tree import ROOT, IncentiveTree
 
 __all__ = ["tree_payments", "tree_payments_naive", "DEFAULT_DECAY"]
@@ -53,6 +54,7 @@ def tree_payments(
     task_types: Mapping[int, TaskType],
     *,
     decay: float = DEFAULT_DECAY,
+    tracer: Optional[NullTracer] = None,
 ) -> Dict[int, float]:
     """Compute final payments ``p`` from auction payments and the tree.
 
@@ -69,6 +71,9 @@ def tree_payments(
         same-type exclusion).
     decay:
         The geometric decay base γ (paper: 1/2).
+    tracer:
+        Optional :mod:`repro.obs` tracer; when enabled the pass runs under
+        a ``payments`` span and counts ``tree_payment_nodes``.
 
     Returns
     -------
@@ -76,6 +81,20 @@ def tree_payments(
         ``{user_id: p_j}`` for every node of the tree (zero payments
         included — callers prune if they wish).
     """
+    if tracer is not None and tracer.enabled:
+        num_nodes = len(tree.bfs_order())
+        with tracer.span("payments", nodes=num_nodes, decay=decay):
+            tracer.count("tree_payment_nodes", num_nodes)
+            return _tree_payments_impl(tree, auction_payments, task_types, decay)
+    return _tree_payments_impl(tree, auction_payments, task_types, decay)
+
+
+def _tree_payments_impl(
+    tree: IncentiveTree,
+    auction_payments: Mapping[int, float],
+    task_types: Mapping[int, TaskType],
+    decay: float,
+) -> Dict[int, float]:
     if not 0.0 < decay < 1.0:
         raise TreeError(f"decay must be in (0, 1), got {decay}")
     order = tree.bfs_order()

@@ -50,12 +50,22 @@ The multi-round CRA loop has two interchangeable engines (``engine=``):
 
 Both consume the identical random stream and produce identical outcomes
 for the same seed; differential tests enforce this.
+
+Observability
+-------------
+Every run emits into the mechanism's :mod:`repro.obs` tracer (default:
+the shared no-op ``NULL_TRACER``): a ``mechanism`` span wrapping the run,
+one ``cra`` span per task type, one ``round`` span per CRA round, plus
+the counters cataloged in :mod:`repro.obs.catalog`.  All clock reads go
+through ``tracer.clock`` (lint rule RIT007) and all per-round
+instrumentation sits behind a single ``tracer.enabled`` check, so traced
+and untraced runs produce bit-identical outcomes and the disabled path
+stays at benchmark speed.
 """
 
 from __future__ import annotations
 
 import math
-import time
 from typing import Dict, List, Mapping, Optional
 
 import numpy as np
@@ -74,6 +84,7 @@ from repro.core.outcome import MechanismOutcome, RoundRecord
 from repro.core.payments import DEFAULT_DECAY, tree_payments
 from repro.core.rng import SeedLike, as_generator
 from repro.core.types import Ask, Job
+from repro.obs.tracer import NULL_TRACER, NullTracer
 from repro.tree.incentive_tree import IncentiveTree
 
 __all__ = ["RIT", "BUDGET_POLICIES", "ENGINES"]
@@ -119,6 +130,10 @@ class RIT(Mechanism):
         One of :data:`ENGINES` — ``"sorted"`` (incremental sorted engine,
         default) or ``"reference"`` (per-round rebuild); see the module
         docstring.  Outcomes are seed-for-seed identical between the two.
+    tracer:
+        Observability sink (see :mod:`repro.obs`); defaults to the shared
+        no-op tracer.  Can also be injected after construction with
+        :meth:`~repro.core.mechanism.Mechanism.with_tracer`.
     raise_on_failure:
         When True, an incomplete allocation raises
         :class:`~repro.core.exceptions.AllocationError` instead of
@@ -137,6 +152,7 @@ class RIT(Mechanism):
         k_max: Optional[int] = None,
         sample_rate_scale: float = 1.0,
         engine: str = "sorted",
+        tracer: Optional[NullTracer] = None,
         raise_on_failure: bool = False,
     ) -> None:
         if not 0.0 < h < 1.0:
@@ -164,6 +180,7 @@ class RIT(Mechanism):
         self.round_budget = round_budget
         self.log_base = float(log_base)
         self.k_max_override = k_max
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.raise_on_failure = bool(raise_on_failure)
 
     # ------------------------------------------------------------------ #
@@ -218,12 +235,30 @@ class RIT(Mechanism):
     ) -> MechanismOutcome:
         gen = as_generator(rng)
         self._validate(job, asks, tree)
-        t_start = time.perf_counter()
+        tracer = self.tracer
+        tracing = tracer.enabled
+        clock = tracer.clock
+        owns_run = False
+        run_sid = mech_sid = -1
+        if tracing:
+            owns_run = tracer.depth == 0
+            if owns_run:
+                run_sid = tracer.begin("run")
+            mech_sid = tracer.begin(
+                "mechanism",
+                mechanism=self.name,
+                engine=self.engine,
+                users=len(asks),
+                tasks=job.size,
+                num_types=job.num_types,
+            )
+            tracer.count("mechanism_runs")
+        t_start = clock()
 
         allocation: Dict[int, int] = {}
         auction_payments: Dict[int, float] = {}
         rounds_log: List[RoundRecord] = []
-        timers = StageTimers() if self.engine == "sorted" else None
+        timers = StageTimers(clock=clock) if self.engine == "sorted" else None
         completed = True
 
         if asks:
@@ -251,7 +286,7 @@ class RIT(Mechanism):
         else:
             completed = job.size == 0
 
-        t_auction = time.perf_counter()
+        t_auction = clock()
 
         outcome = MechanismOutcome(
             allocation=allocation,
@@ -264,23 +299,45 @@ class RIT(Mechanism):
         )
         if not completed:
             # Algorithm 3 line 27: void everything.
+            if tracing:
+                tracer.count("runs_voided")
             if self.raise_on_failure:
+                if tracing:
+                    tracer.end(mech_sid)
+                    if owns_run:
+                        tracer.end(run_sid)
                 raise AllocationError(
                     "auction phase could not allocate every task within the "
                     f"round budget (policy={self.round_budget!r})"
                 )
-            return outcome.void(elapsed_total=time.perf_counter() - t_start)
-
-        # Payment determination phase (lines 22-25).
-        if asks:
-            types = dict(zip(uid_arr.tolist(), type_arr.tolist()))
+            final = outcome.void(elapsed_total=clock() - t_start)
         else:
-            types = {}
-        payments = tree_payments(tree, auction_payments, types, decay=self.decay)
-        return outcome.finalize(
-            payments={uid: p for uid, p in payments.items() if not is_zero(p)},
-            elapsed_total=time.perf_counter() - t_start,
-        )
+            # Payment determination phase (lines 22-25).
+            if asks:
+                types = dict(zip(uid_arr.tolist(), type_arr.tolist()))
+            else:
+                types = {}
+            payments = tree_payments(
+                tree, auction_payments, types, decay=self.decay, tracer=tracer
+            )
+            kept = {uid: p for uid, p in payments.items() if not is_zero(p)}
+            final = outcome.finalize(
+                payments=kept, elapsed_total=clock() - t_start
+            )
+            if tracing:
+                tracer.count("runs_completed")
+                tracer.count("payment_recipients", len(kept))
+                tracer.count("payments_pruned", len(payments) - len(kept))
+        if tracing:
+            if timers is not None:
+                for stage, seconds in timers.as_dict().items():
+                    tracer.count(
+                        "stage_seconds/" + stage, seconds, unit="seconds"
+                    )
+            tracer.end(mech_sid)
+            if owns_run:
+                tracer.end(run_sid)
+        return final
 
     # ------------------------------------------------------------------ #
     # Internals
@@ -302,11 +359,21 @@ class RIT(Mechanism):
         """Run the multi-round CRA loop for one type; True iff covered."""
         budget = self.budget_for(m_i, k_max, num_types)
         use_sorted = self.engine == "sorted"
+        tracer = self.tracer
+        tracing = tracer.enabled
+        cra_sid = -1
+        if tracing:
+            cra_sid = tracer.begin(
+                "cra", task_type=int(tau), m_i=m_i, budget=budget
+            )
         q = m_i
         rounds = 0
         while rounds < budget and q > 0:
             if group is None or group.total_remaining() == 0:
                 break  # supply exhausted — no further round can allocate
+            round_sid = -1
+            if tracing:
+                round_sid = tracer.begin("round", round_index=rounds, q=q)
             if use_sorted:
                 result = cra_presorted(
                     group,
@@ -315,8 +382,9 @@ class RIT(Mechanism):
                     gen,
                     sample_rate_scale=self.sample_rate_scale,
                     timers=timers,
+                    tracer=tracer,
                 )
-                t_consume = time.perf_counter()
+                t_consume = timers.clock() if timers is not None else 0.0
                 winner_positions = group.unit_user_positions(
                     result.winners, group.round_bounds()
                 )
@@ -326,8 +394,9 @@ class RIT(Mechanism):
                 result = cra(
                     values, q, m_i, gen,
                     sample_rate_scale=self.sample_rate_scale,
+                    tracer=tracer,
                 )
-                t_consume = time.perf_counter()
+                t_consume = timers.clock() if timers is not None else 0.0
                 winner_uids = owners[result.winners]
             rounds_log.append(
                 RoundRecord(
@@ -357,9 +426,26 @@ class RIT(Mechanism):
                 group.consume_many(winner_uids)
                 q -= result.num_winners
             if timers is not None:
-                timers.consume += time.perf_counter() - t_consume
+                timers.consume += timers.clock() - t_consume
+            if tracing:
+                tracer.count("cra_rounds")
+                if result.num_winners:
+                    tracer.count("winners_selected", result.num_winners)
+                    tracer.count("tasks_allocated", result.num_winners)
+                    if use_sorted:
+                        tracer.count("fenwick_rebuilds")
+                else:
+                    tracer.count("zero_winner_rounds")
+                if result.overflow_trimmed:
+                    tracer.count("overflow_trims")
+                tracer.end(round_sid)
             rounds += 1
-        return q == 0
+        covered = q == 0
+        if tracing:
+            if covered:
+                tracer.count("types_covered")
+            tracer.end(cra_sid)
+        return covered
 
     @staticmethod
     def _validate(job: Job, asks: Mapping[int, Ask], tree: IncentiveTree) -> None:

@@ -16,6 +16,7 @@ from repro.devtools.lint.rules.rit003_frozen import FrozenInstanceMutation
 from repro.devtools.lint.rules.rit004_exports import ExportDrift
 from repro.devtools.lint.rules.rit005_wallclock import HiddenInputs
 from repro.devtools.lint.rules.rit006_exceptions import SwallowedExceptions
+from repro.devtools.lint.rules.rit007_diagnostics import RawDiagnostics
 
 __all__ = [
     "Rule",
@@ -28,6 +29,7 @@ __all__ = [
     "ExportDrift",
     "HiddenInputs",
     "SwallowedExceptions",
+    "RawDiagnostics",
 ]
 
 ALL_RULES: Tuple[Rule, ...] = (
@@ -37,6 +39,7 @@ ALL_RULES: Tuple[Rule, ...] = (
     ExportDrift(),
     HiddenInputs(),
     SwallowedExceptions(),
+    RawDiagnostics(),
 )
 
 RULES_BY_ID: Dict[str, Rule] = {rule.id: rule for rule in ALL_RULES}

@@ -1,0 +1,81 @@
+"""RIT007 — raw diagnostics (``time.*`` / ``print``) in instrumented modules.
+
+The modules instrumented by :mod:`repro.obs` read time exclusively
+through the tracer's injected clock (``tracer.clock`` /
+``StageTimers.clock``) and report progress exclusively through spans and
+counters.  A direct ``time.*`` call — *including* the monotonic readers
+RIT005 permits elsewhere in core — bypasses the injected clock, so traced
+and untraced runs would measure different things; a bare ``print(`` is a
+diagnostic that escapes the event sink entirely and cannot be replayed or
+diffed.  Both must go through the tracer.
+
+The scope is the instrumented set, module by module (not whole packages):
+uninstrumented modules keep the looser RIT005 contract.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.lint.context import FileContext
+from repro.devtools.lint.imports import ImportMap
+from repro.devtools.lint.model import Finding
+from repro.devtools.lint.rules.base import Rule
+
+__all__ = ["RawDiagnostics"]
+
+
+class RawDiagnostics(Rule):
+    id = "RIT007"
+    name = "untraced-diagnostics"
+    rationale = (
+        "instrumented modules must read time via the tracer's injected "
+        "clock and emit diagnostics via spans/counters, never time.* or "
+        "print()"
+    )
+    scopes = (
+        "repro.core.rit",
+        "repro.core.engine",
+        "repro.core.cra",
+        "repro.core.payments",
+        "repro.attacks.evaluator",
+        "repro.simulation.runner",
+        "repro.simulation.parallel",
+        "repro.simulation.report",
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        imports = ImportMap.collect(ctx.tree)
+        yield from self._visit(ctx, ctx.tree, imports)
+
+    def _visit(
+        self, ctx: FileContext, node: ast.AST, imports: ImportMap
+    ) -> Iterator[Finding]:
+        for child in ast.iter_child_nodes(node):
+            if (
+                isinstance(child, ast.Call)
+                and isinstance(child.func, ast.Name)
+                and child.func.id == "print"
+            ):
+                yield self.finding(
+                    ctx,
+                    child,
+                    "print() bypasses the trace sink; emit a span/counter "
+                    "via the tracer (or log from an uninstrumented module)",
+                )
+                # Still walk the arguments — they may hide a time.* read.
+            if isinstance(child, (ast.Attribute, ast.Name)):
+                resolved = imports.resolve(child)
+                if resolved and (
+                    resolved == "time" or resolved.startswith("time.")
+                ):
+                    yield self.finding(
+                        ctx,
+                        child,
+                        f"'{resolved}' bypasses the injected monotonic "
+                        "clock; read time via tracer.clock / "
+                        "StageTimers.clock instead",
+                    )
+                    continue  # don't double-report the inner chain
+            yield from self._visit(ctx, child, imports)

@@ -1,0 +1,61 @@
+"""Run-scoped tracing and metrics for the reproduction (`repro.obs`).
+
+The observability layer records what a mechanism run *did* — hierarchical
+spans (``run → mechanism → cra → round``), monotonic counters, stage
+timings — into a JSONL event stream keyed by seed + config hash, so any
+run is replayable and diffable (see ``docs/observability.md``).
+
+Entry points
+------------
+* :data:`NULL_TRACER` / :class:`NullTracer` — the zero-overhead default;
+  instrumented code paths are no-ops unless a recording tracer is
+  injected.
+* :class:`Tracer` — records events; ``write_jsonl`` persists them,
+  ``absorb`` merges per-worker sinks deterministically.
+* :class:`StageTimers` — per-stage accumulator on the injected clock
+  (migrated here from ``repro.core.engine``).
+* :mod:`repro.obs.events` — the schema; :mod:`repro.obs.catalog` — the
+  counter contract; :mod:`repro.obs.render` — span-tree and metrics
+  rendering for the ``rit trace`` CLI.
+
+This package is imported *by* ``repro.core`` and therefore depends only
+on the standard library.
+"""
+
+from repro.obs.catalog import COUNTER_CATALOG, COUNTER_FAMILIES, describe_counter
+from repro.obs.events import (
+    COUNTER_UNITS,
+    EVENT_KINDS,
+    SPAN_LEVELS,
+    TRACE_SCHEMA_VERSION,
+    canonical_events,
+    config_hash,
+    read_jsonl,
+    write_jsonl,
+)
+from repro.obs.render import format_metrics_json, format_prometheus, render_span_tree
+from repro.obs.timers import STAGE_NAMES, Clock, StageTimers
+from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
+
+__all__ = [
+    "NULL_TRACER",
+    "NullTracer",
+    "Tracer",
+    "StageTimers",
+    "STAGE_NAMES",
+    "Clock",
+    "TRACE_SCHEMA_VERSION",
+    "EVENT_KINDS",
+    "SPAN_LEVELS",
+    "COUNTER_UNITS",
+    "config_hash",
+    "canonical_events",
+    "write_jsonl",
+    "read_jsonl",
+    "COUNTER_CATALOG",
+    "COUNTER_FAMILIES",
+    "describe_counter",
+    "render_span_tree",
+    "format_prometheus",
+    "format_metrics_json",
+]

@@ -1,0 +1,69 @@
+"""Counter catalog: every counter name the instrumented stack may emit.
+
+The catalog is the contract between the emitters (``repro.core.rit``,
+``repro.attacks.evaluator``, the simulation runners, ``report``) and the
+consumers (the trace schema validator, ``docs/observability.md``, the
+Prometheus export).  A counter event whose name is neither an exact
+catalog entry nor prefixed by a registered family is a schema violation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+__all__ = ["COUNTER_CATALOG", "COUNTER_FAMILIES", "describe_counter"]
+
+#: Exact counter names → (unit, description).
+COUNTER_CATALOG: Dict[str, Tuple[str, str]] = {
+    # repro.core.rit — mechanism lifecycle
+    "mechanism_runs": ("count", "Mechanism.run invocations"),
+    "runs_completed": ("count", "runs whose allocation covered the job"),
+    "runs_voided": ("count", "runs voided by Algorithm 3 line 27"),
+    "types_covered": ("count", "task types fully allocated in the auction phase"),
+    # repro.core.rit — CRA round loop (Algorithm 3 lines 8-21)
+    "cra_rounds": ("count", "CRA rounds executed across all task types"),
+    "winners_selected": ("count", "winning unit asks across all rounds"),
+    "tasks_allocated": ("count", "tasks assigned (one per winning unit)"),
+    "zero_winner_rounds": ("count", "rounds that selected no winner"),
+    "overflow_trims": ("count", "rounds that hit the Algorithm 1 line 13-16 trim"),
+    "fenwick_rebuilds": ("count", "Fenwick capacity-state rebuilds (sorted engine)"),
+    # repro.core.cra / repro.core.engine — sample stage (Algorithm 1 lines 2-4)
+    "sample_units_drawn": ("count", "unit asks drawn into CRA price samples"),
+    "empty_samples": ("count", "CRA rounds whose price sample was empty"),
+    # repro.core.payments — payment determination (Algorithm 3 lines 22-25)
+    "payment_recipients": ("count", "users with a non-zero final payment"),
+    "payments_pruned": ("count", "zero-valued payments dropped from the outcome"),
+    "tree_payment_nodes": ("count", "tree nodes visited by tree_payments"),
+    # repro.attacks.evaluator
+    "attack_comparisons": ("count", "paired honest-vs-attack mechanism runs"),
+    "sybil_identities_spawned": ("count", "fake identities materialized by sybil attacks"),
+    "misreports_evaluated": ("count", "misreport deviations evaluated"),
+    # repro.simulation.runner / parallel
+    "reps_completed": ("count", "simulation repetitions measured"),
+    "worker_traces_merged": ("count", "per-worker event sinks absorbed by the parent"),
+    # repro.simulation.report
+    "figures_rendered": ("count", "report figures rendered"),
+    "shape_checks_passed": ("count", "qualitative shape checks that passed"),
+    "shape_checks_failed": ("count", "qualitative shape checks that failed"),
+    # engine stage timings (measured seconds; excluded from canonical stream)
+    "stage_seconds/sample": ("seconds", "CRA sample stage, summed over rounds"),
+    "stage_seconds/consensus": ("seconds", "CRA consensus stage, summed over rounds"),
+    "stage_seconds/select": ("seconds", "CRA select stage, summed over rounds"),
+    "stage_seconds/consume": ("seconds", "capacity consume stage, summed over rounds"),
+}
+
+#: Prefix families for dynamically-named counters: prefix → (unit, description).
+COUNTER_FAMILIES: Dict[str, Tuple[str, str]] = {
+    "figure_seconds/": ("seconds", "per-figure render time in report generation"),
+}
+
+
+def describe_counter(name: str) -> Optional[Tuple[str, str]]:
+    """``(unit, description)`` for a counter name, or None if uncataloged."""
+    spec = COUNTER_CATALOG.get(name)
+    if spec is not None:
+        return spec
+    for prefix, family_spec in COUNTER_FAMILIES.items():
+        if name.startswith(prefix):
+            return family_spec
+    return None

@@ -1,0 +1,53 @@
+"""Stage timing accumulators on an injected monotonic clock.
+
+:class:`StageTimers` lived in :mod:`repro.core.engine` through PR 2 and
+read ``time.perf_counter`` directly.  Lint rule RIT007 now bans raw
+``time.*`` calls inside instrumented modules (the tracer owns the clock),
+so the accumulator moved here: the *default* clock is still
+``time.perf_counter``, but it is resolved in this module — outside the
+instrumented set — and callers inject the tracer's clock
+(:attr:`repro.obs.tracer.NullTracer.clock`) instead of reading wall time
+themselves.  ``repro.core.engine`` re-exports the class for backward
+compatibility.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict
+
+__all__ = ["STAGE_NAMES", "Clock", "StageTimers"]
+
+#: A monotonic clock: zero-argument callable returning seconds as float.
+Clock = Callable[[], float]
+
+#: Stage keys reported by the sorted engine, in pipeline order.
+STAGE_NAMES = ("sample", "consensus", "select", "consume")
+
+
+@dataclass
+class StageTimers:
+    """Mutable accumulator of per-stage monotonic-clock seconds.
+
+    One instance is shared across every CRA round of a mechanism run; the
+    totals therefore aggregate over rounds and task types.  Stage code
+    reads the time via :attr:`clock` — never ``time.*`` directly — so a
+    tracer (or a test) can substitute a deterministic clock.
+    """
+
+    sample: float = 0.0
+    consensus: float = 0.0
+    select: float = 0.0
+    consume: float = 0.0
+    clock: Clock = field(
+        default=time.perf_counter, repr=False, compare=False
+    )
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "sample": self.sample,
+            "consensus": self.consensus,
+            "select": self.select,
+            "consume": self.consume,
+        }

@@ -9,6 +9,13 @@ payments ``p^A``):
 * **running time** (Fig. 8) — wall-clock mechanism time;
 * **dishonest user utility** (Fig. 9) — an attacker's summed identity
   utility, produced by :mod:`repro.attacks.evaluator`.
+
+These are *per-run summary statistics* computed off a finished
+:class:`~repro.core.outcome.MechanismOutcome`.  Run-internal counters
+(rounds executed, winners selected, …) are not tallied here: they flow
+through :mod:`repro.obs` counters and are cataloged in
+:data:`repro.obs.catalog.COUNTER_CATALOG` — the hand-rolled ``METRICS``
+registry dict that used to live in this module is gone with them.
 """
 
 from __future__ import annotations
@@ -24,7 +31,6 @@ __all__ = [
     "total_auction_payment",
     "running_time",
     "auction_running_time",
-    "METRICS",
 ]
 
 
@@ -64,14 +70,3 @@ def running_time(outcome: MechanismOutcome) -> float:
 def auction_running_time(outcome: MechanismOutcome) -> float:
     """Wall-clock seconds of the auction phase alone (Fig. 8)."""
     return outcome.elapsed_auction
-
-
-#: Registry used by the CLI: name → (needs_costs, callable).
-METRICS = {
-    "avg-utility": average_utility,
-    "avg-auction-utility": average_auction_utility,
-    "total-payment": total_payment,
-    "total-auction-payment": total_auction_payment,
-    "running-time": running_time,
-    "auction-running-time": auction_running_time,
-}

@@ -15,31 +15,56 @@ Implementation notes
 * Seeds are spawned up front in the parent — repetition ``i`` consumes
   seed pair ``(2i, 2i+1)`` regardless of which worker executes it, which
   is what makes the output independent of scheduling.
+
+Tracing
+-------
+When a recording :class:`repro.obs.Tracer` is passed, each repetition
+runs against its *own* per-worker sink (a fresh in-memory tracer created
+inside the worker) and ships its raw events back with the measurement.
+The parent absorbs the sinks **in submission-index order** — never pool
+completion order — tagging every absorbed event with ``rep`` (the
+submission index) and ``w`` (the logical worker slot ``rep % workers``).
+Pool pids and completion order are nondeterministic; the tags are not, so
+the merged JSONL stream is stable across same-seed runs.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
-from typing import List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.core.exceptions import ConfigurationError
 from repro.core.mechanism import Mechanism
 from repro.core.rng import SeedLike, spawn_seeds
+from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
 from repro.simulation.runner import RunMeasurement, ScenarioFactory
 
 __all__ = ["run_repetitions_parallel"]
 
 # Set by _init_worker in each forked child.
-_WORK = {}
+_WORK: Dict[str, Any] = {}
 
 
 def _measure_one(args):
     index, seed_scenario, seed_mechanism = args
     mechanism = _WORK["mechanism"]
     factory = _WORK["factory"]
+    sink: Optional[Tracer] = None
+    if _WORK.get("traced"):
+        # Per-worker sink: owned entirely by this repetition, shipped back
+        # as raw events and merged deterministically by the parent.  The
+        # sink's own header (seeded by the rep index — the mechanism seed
+        # is a SeedSequence) is dropped at absorb time.
+        sink = Tracer(
+            f"rep-{index}",
+            seed=int(index),
+            config={"rep": int(index)},
+        )
+        mechanism = mechanism.with_tracer(sink)
+        rep_sid = sink.begin("rep", rep=int(index))
     scenario = factory(np.random.default_rng(seed_scenario))
     asks = scenario.truthful_asks()
     outcome = mechanism.run(
@@ -48,12 +73,16 @@ def _measure_one(args):
     measurement = RunMeasurement.from_outcome(
         outcome, scenario.costs(), scenario.num_users
     )
-    return index, measurement
+    if sink is None:
+        return index, measurement, None
+    sink.end(rep_sid)
+    return index, measurement, sink.events
 
 
-def _init_worker(mechanism, factory):
+def _init_worker(mechanism, factory, traced=False):
     _WORK["mechanism"] = mechanism
     _WORK["factory"] = factory
+    _WORK["traced"] = traced
 
 
 def run_repetitions_parallel(
@@ -63,6 +92,7 @@ def run_repetitions_parallel(
     reps: int,
     rng: SeedLike = None,
     workers: Optional[int] = None,
+    tracer: Optional[NullTracer] = None,
 ) -> List[RunMeasurement]:
     """Parallel drop-in for :func:`repro.simulation.runner.run_repetitions`.
 
@@ -71,29 +101,62 @@ def run_repetitions_parallel(
     workers:
         Process count; defaults to ``min(reps, cpu_count)``.  ``1`` (or an
         unavailable ``fork`` start method) runs serially in-process.
+    tracer:
+        Observability sink (see :mod:`repro.obs`).  A recording tracer
+        receives every repetition's events, merged in submission order and
+        tagged with ``rep`` + logical worker id (see the module
+        docstring); the default no-op tracer records nothing.
     """
     if reps < 1:
         raise ConfigurationError(f"reps must be >= 1, got {reps}")
     if workers is not None and workers < 1:
         raise ConfigurationError(f"workers must be >= 1, got {workers}")
+    tracer = tracer if tracer is not None else NULL_TRACER
+    tracing = tracer.enabled
     seeds = spawn_seeds(rng, 2 * reps)
     jobs = [(r, seeds[2 * r], seeds[2 * r + 1]) for r in range(reps)]
 
     resolved = workers if workers is not None else min(reps, os.cpu_count() or 1)
     use_fork = "fork" in multiprocessing.get_all_start_methods()
     if resolved == 1 or not use_fork:
-        _init_worker(mechanism, scenario_factory)
+        _init_worker(mechanism, scenario_factory, tracing)
         try:
             results = [_measure_one(job) for job in jobs]
         finally:
             _WORK.clear()
-        return [m for _, m in sorted(results)]
+    else:
+        ctx = multiprocessing.get_context("fork")
+        with ctx.Pool(
+            processes=resolved,
+            initializer=_init_worker,
+            initargs=(mechanism, scenario_factory, tracing),
+        ) as pool:
+            results = pool.map(_measure_one, jobs)
+    return _merge(results, tracer, reps=reps, workers=resolved)
 
-    ctx = multiprocessing.get_context("fork")
-    with ctx.Pool(
-        processes=resolved,
-        initializer=_init_worker,
-        initargs=(mechanism, scenario_factory),
-    ) as pool:
-        results = pool.map(_measure_one, jobs)
-    return [m for _, m in sorted(results)]
+
+def _merge(
+    results: List[Tuple[int, RunMeasurement, Optional[list]]],
+    tracer: NullTracer,
+    *,
+    reps: int,
+    workers: int,
+) -> List[RunMeasurement]:
+    """Order results by submission index and absorb per-worker sinks.
+
+    Sorting on the index alone (not the tuple) keeps the merge stable and
+    independent of pool completion order; the absorb order *is* the event
+    order of the merged stream, so it must be deterministic.
+    """
+    ordered = sorted(results, key=lambda item: item[0])
+    measurements: List[RunMeasurement] = []
+    tracing = tracer.enabled
+    with tracer.run_span(kind="parallel-repetitions", reps=reps, workers=workers):
+        for index, measurement, events in ordered:
+            if tracing:
+                if events:
+                    tracer.absorb(events, rep=index, worker=index % workers)
+                    tracer.count("worker_traces_merged")
+                tracer.count("reps_completed")
+            measurements.append(measurement)
+    return measurements

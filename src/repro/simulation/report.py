@@ -9,12 +9,12 @@ counterpart of the committed EXPERIMENTS.md.  Driven by ``rit report``.
 from __future__ import annotations
 
 import platform
-import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.rng import SeedLike, as_generator, spawn
+from repro.obs.tracer import NullTracer, Tracer
 from repro.simulation import experiments as exp
 from repro.simulation.plotting import render_result
 from repro.simulation.reporting import format_result
@@ -106,6 +106,7 @@ def generate_report(
     charts: bool = True,
     include_challenges: bool = True,
     path: Optional[Union[str, Path]] = None,
+    tracer: Optional[NullTracer] = None,
 ) -> str:
     """Rerun the reproduction and return (and optionally write) a report.
 
@@ -123,6 +124,12 @@ def generate_report(
         Append the §4 design-challenge counterexamples.
     path:
         When given, the markdown is also written there.
+    tracer:
+        Observability sink (see :mod:`repro.obs`).  Figure timings and
+        check tallies flow through its counters (``figures_rendered``,
+        ``shape_checks_passed``/``failed``, ``figure_seconds/<fig>``); by
+        default a private recording tracer is used just for the
+        bookkeeping the report itself prints.
     """
     chosen = list(figures) if figures is not None else list(FIGURE_SHAPES)
     for fig in chosen:
@@ -130,6 +137,10 @@ def generate_report(
             raise KeyError(f"unknown figure {fig!r}; known: {sorted(FIGURE_SHAPES)}")
     resolved = exp.active_scale(scale)
     gen = as_generator(rng)
+    obs = tracer if tracer is not None else Tracer(
+        "report", config={"figures": chosen, "scale": resolved.name}
+    )
+    clock = obs.clock
 
     lines: List[str] = []
     lines.append("# RIT reproduction report")
@@ -141,9 +152,10 @@ def generate_report(
     lines.append("")
 
     # Figures sharing a sweep are computed together (one sweep instead of
-    # three) — a 3x saving that matters at paper scale.
+    # three) — a 3x saving that matters at paper scale.  Per-figure
+    # timings and check tallies live in the tracer's counters, not in
+    # hand-rolled dicts.
     precomputed: Dict[str, ExperimentResult] = {}
-    timings: Dict[str, float] = {}
     for group_fn, members in (
         (exp.users_sweep_figures, ("fig6a", "fig7a", "fig8a")),
         (exp.tasks_sweep_figures, ("fig6b", "fig7b", "fig8b")),
@@ -151,25 +163,33 @@ def generate_report(
         wanted = [fig for fig in members if fig in chosen]
         if len(wanted) > 1:
             group_rng = spawn(gen, 1)[0]
-            start = time.perf_counter()
+            start = clock()
             group = group_fn(resolved, rng=group_rng)
-            elapsed = (time.perf_counter() - start) / len(wanted)
+            elapsed = (clock() - start) / len(wanted)
             for fig in wanted:
                 precomputed[fig] = group[fig]
-                timings[fig] = elapsed
+                obs.count(f"figure_seconds/{fig}", elapsed, unit="seconds")
 
     all_checks: List[Tuple[str, ShapeCheck]] = []
     for fig in chosen:
         fn, checker = FIGURE_SHAPES[fig]
         if fig in precomputed:
             result = precomputed[fig]
-            elapsed = timings[fig]
         else:
             fig_rng = spawn(gen, 1)[0]
-            start = time.perf_counter()
-            result = fn(resolved, rng=fig_rng)
-            elapsed = time.perf_counter() - start
+            with obs.span("figure", fig=fig):
+                start = clock()
+                result = fn(resolved, rng=fig_rng)
+                obs.count(
+                    f"figure_seconds/{fig}", clock() - start, unit="seconds"
+                )
+        obs.count("figures_rendered")
+        elapsed = obs.value(f"figure_seconds/{fig}", 0.0)
         checks = checker(result)
+        for check in checks:
+            obs.count(
+                "shape_checks_passed" if check.passed else "shape_checks_failed"
+            )
         all_checks.extend((fig, c) for c in checks)
 
         lines.append(f"## {fig} — {result.title}")
@@ -197,6 +217,9 @@ def generate_report(
             lines.append(
                 f"- {report.description}: honest {report.honest_utility:.3f} "
                 f"vs deviant {report.deviant_utility:.3f} — {verdict}"
+            )
+            obs.count(
+                "shape_checks_passed" if report.violated else "shape_checks_failed"
             )
             all_checks.append(
                 ("design", ShapeCheck(report.description, report.violated))

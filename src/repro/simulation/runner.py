@@ -10,7 +10,7 @@ requested per-run measurements.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Mapping
+from typing import Callable, List, Mapping, Optional
 
 import numpy as np
 
@@ -18,6 +18,7 @@ from repro.core.exceptions import ConfigurationError
 from repro.core.mechanism import Mechanism
 from repro.core.outcome import MechanismOutcome
 from repro.core.rng import SeedLike, spawn
+from repro.obs.tracer import NULL_TRACER, NullTracer
 from repro.simulation import metrics as metrics_mod
 from repro.workloads.scenarios import Scenario
 
@@ -61,24 +62,35 @@ def run_repetitions(
     *,
     reps: int,
     rng: SeedLike = None,
+    tracer: Optional[NullTracer] = None,
 ) -> List[RunMeasurement]:
     """Run ``reps`` independent repetitions and collect measurements.
 
     Each repetition receives two independent RNG streams spawned from
     ``rng``: one for scenario generation, one for the mechanism's own coin
     flips — so enlarging ``reps`` never perturbs earlier repetitions.
+
+    ``tracer`` (see :mod:`repro.obs`) owns the top-level ``run`` span and
+    is routed into every mechanism run; the default no-op tracer records
+    nothing.
     """
     if reps < 1:
         raise ConfigurationError(f"reps must be >= 1, got {reps}")
+    tracer = tracer if tracer is not None else NULL_TRACER
+    tracing = tracer.enabled
+    mech = mechanism.with_tracer(tracer) if tracing else mechanism
     seeds = spawn(rng, 2 * reps)
     measurements: List[RunMeasurement] = []
-    for r in range(reps):
-        scenario = scenario_factory(seeds[2 * r])
-        asks = scenario.truthful_asks()
-        outcome = mechanism.run(scenario.job, asks, scenario.tree, seeds[2 * r + 1])
-        measurements.append(
-            RunMeasurement.from_outcome(
-                outcome, scenario.costs(), scenario.num_users
+    with tracer.run_span(kind="repetitions", reps=reps):
+        for r in range(reps):
+            scenario = scenario_factory(seeds[2 * r])
+            asks = scenario.truthful_asks()
+            outcome = mech.run(scenario.job, asks, scenario.tree, seeds[2 * r + 1])
+            measurements.append(
+                RunMeasurement.from_outcome(
+                    outcome, scenario.costs(), scenario.num_users
+                )
             )
-        )
+            if tracing:
+                tracer.count("reps_completed")
     return measurements

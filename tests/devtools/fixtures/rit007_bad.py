@@ -1,0 +1,17 @@
+# rit: module=repro.core.rit
+"""RIT007 fixture: raw diagnostics inside an instrumented module.
+
+``time.perf_counter``/``time.monotonic`` are fine for RIT005 (monotonic,
+not a hidden input) but banned here: instrumented modules read time only
+through the tracer's injected clock.  ``print`` escapes the event sink.
+"""
+
+import time
+
+
+def run_round(tracer, rounds):
+    started = time.perf_counter()  # expect: RIT007
+    print("round", rounds)  # expect: RIT007
+    elapsed = time.monotonic() - started  # expect: RIT007
+    tracer.count("cra_rounds")
+    return elapsed

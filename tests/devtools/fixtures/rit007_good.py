@@ -1,0 +1,9 @@
+# rit: module=repro.core.rit
+"""RIT007 fixture: diagnostics routed through the tracer as required."""
+
+
+def run_round(tracer, rounds):
+    started = tracer.clock()
+    with tracer.span("round", round_index=rounds):
+        tracer.count("cra_rounds")
+    return tracer.clock() - started

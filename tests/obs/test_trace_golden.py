@@ -1,0 +1,131 @@
+"""Golden trace, traced-vs-untraced equivalence, and no-op overhead.
+
+The committed golden under ``tests/goldens/obs/trace_small.jsonl`` is the
+*canonical* stream (timestamps and measured durations stripped) of one
+small seeded RIT run.  Regenerate deliberately with::
+
+    PYTHONPATH=src python -m tests.obs.test_trace_golden
+
+after any intended change to the instrumentation.
+"""
+
+import statistics
+from pathlib import Path
+
+from repro.core.rit import RIT
+from repro.core.types import Job
+from repro.devtools.trace_schema import check_coverage
+from repro.obs import NULL_TRACER, Tracer, canonical_events, read_jsonl, write_jsonl
+from repro.workloads.scenarios import paper_scenario
+from repro.workloads.users import UserDistribution
+
+GOLDEN = Path(__file__).resolve().parent.parent / "goldens" / "obs" / "trace_small.jsonl"
+
+SEED = 7
+CONFIG = {"users": 120, "types": 3, "tasks_per_type": 8}
+
+
+def _scenario():
+    job = Job.uniform(CONFIG["types"], CONFIG["tasks_per_type"])
+    scenario = paper_scenario(
+        CONFIG["users"],
+        job,
+        SEED,
+        distribution=UserDistribution(num_types=CONFIG["types"]),
+    )
+    return job, scenario
+
+
+def _traced_run():
+    tracer = Tracer("golden", seed=SEED, config=CONFIG)
+    job, scenario = _scenario()
+    mech = RIT(round_budget="until-complete", tracer=tracer)
+    outcome = mech.run(job, scenario.truthful_asks(), scenario.tree, SEED)
+    return tracer, outcome
+
+
+class TestGoldenTrace:
+    def test_matches_committed_golden(self):
+        tracer, _ = _traced_run()
+        assert canonical_events(tracer.events) == read_jsonl(str(GOLDEN)), (
+            "canonical trace drifted from the golden; if the "
+            "instrumentation change is deliberate, regenerate with "
+            "`python -m tests.obs.test_trace_golden`"
+        )
+
+    def test_golden_is_schema_valid(self):
+        # The golden has no timestamps; validate the structure that remains
+        # by replaying a fresh (timestamped) run through the full gate.
+        tracer, _ = _traced_run()
+        assert check_coverage(tracer.events) == []
+
+    def test_same_seed_rerun_is_canonically_identical(self):
+        first, _ = _traced_run()
+        second, _ = _traced_run()
+        assert canonical_events(first.events) == canonical_events(second.events)
+        assert len(first.events) == len(second.events)
+
+
+class TestTracedVsUntraced:
+    def test_identical_mechanism_outcome(self):
+        """Instrumentation must not touch the RNG stream or the results."""
+        _, traced = _traced_run()
+        job, scenario = _scenario()
+        untraced = RIT(round_budget="until-complete").run(
+            job, scenario.truthful_asks(), scenario.tree, SEED
+        )
+        assert traced.allocation == untraced.allocation
+        assert traced.auction_payments == untraced.auction_payments
+        assert traced.payments == untraced.payments
+        assert traced.completed == untraced.completed
+        assert traced.rounds == untraced.rounds
+
+    def test_counters_agree_with_outcome(self):
+        tracer, outcome = _traced_run()
+        assert tracer.value("tasks_allocated") == outcome.total_allocated
+        assert tracer.value("cra_rounds") == len(outcome.rounds)
+        assert tracer.value("payment_recipients") == len(outcome.payments)
+        assert tracer.value("runs_completed") == int(outcome.completed)
+
+
+class TestNullTracerOverhead:
+    def test_disabled_tracing_is_not_slower(self):
+        """p50 with the default NULL_TRACER stays within 5% of a recording
+        tracer's p50 — i.e. the disabled path carries no measurable cost.
+        Interleaved sampling cancels host noise."""
+        job, scenario = _scenario()
+        asks, tree = scenario.truthful_asks(), scenario.tree
+        null_times, traced_times = [], []
+        import time
+
+        for rep in range(9):
+            for samples, tracer in (
+                (null_times, None),
+                (traced_times, Tracer("overhead", seed=SEED, config=CONFIG)),
+            ):
+                mech = RIT(round_budget="until-complete", tracer=tracer)
+                t0 = time.perf_counter()
+                mech.run(job, asks, tree, SEED)
+                samples.append(time.perf_counter() - t0)
+        null_p50 = statistics.median(null_times)
+        traced_p50 = statistics.median(traced_times)
+        assert null_p50 <= traced_p50 * 1.05, (
+            f"null-tracer p50 {null_p50:.6f}s vs traced {traced_p50:.6f}s"
+        )
+
+    def test_default_mechanism_uses_the_null_tracer(self):
+        mech = RIT(round_budget="until-complete")
+        assert mech.tracer is NULL_TRACER
+        clone = mech.with_tracer(Tracer("t"))
+        assert clone is not mech and mech.tracer is NULL_TRACER
+
+
+def regenerate():  # pragma: no cover
+    tracer, _ = _traced_run()
+    GOLDEN.parent.mkdir(parents=True, exist_ok=True)
+    write_jsonl(canonical_events(tracer.events), str(GOLDEN))
+    print(f"wrote {GOLDEN} ({len(tracer.events)} events)")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    regenerate()

@@ -61,3 +61,58 @@ class TestParallelRunner:
             run_repetitions_parallel(
                 mechanism, factory, reps=1, rng=0, workers=0
             )
+
+
+class TestParallelTracing:
+    """Merged worker traces are deterministic and schema-valid."""
+
+    def _merged(self, mechanism, rng, reps=4, workers=2):
+        from repro.obs import Tracer
+
+        tracer = Tracer("merge", seed=rng, config={"reps": reps})
+        run_repetitions_parallel(
+            mechanism, factory, reps=reps, rng=rng, workers=workers,
+            tracer=tracer,
+        )
+        return tracer
+
+    def test_same_seed_reruns_merge_identically(self, mechanism):
+        from repro.obs import canonical_events
+
+        first = self._merged(mechanism, rng=9)
+        second = self._merged(mechanism, rng=9)
+        assert canonical_events(first.events) == canonical_events(second.events)
+
+    def test_events_tagged_with_rep_and_worker(self, mechanism):
+        tracer = self._merged(mechanism, rng=3, reps=3, workers=2)
+        tagged = [e for e in tracer.events if "rep" in e]
+        assert {e["rep"] for e in tagged} == {0, 1, 2}
+        assert {e["w"] for e in tagged} <= {0, 1}
+        # rep order is submission order, independent of pool scheduling
+        order = []
+        for event in tagged:
+            if not order or order[-1] != event["rep"]:
+                order.append(event["rep"])
+        assert order == sorted(order)
+
+    def test_merged_stream_is_schema_valid(self, mechanism):
+        from repro.devtools.trace_schema import validate_trace_events
+
+        tracer = self._merged(mechanism, rng=5, reps=3, workers=3)
+        assert validate_trace_events(tracer.events) == []
+        assert tracer.value("worker_traces_merged") == 3
+        assert tracer.value("reps_completed") == 3
+
+    def test_tracing_does_not_change_measurements(self, mechanism):
+        from repro.obs import Tracer
+
+        plain = run_repetitions_parallel(
+            mechanism, factory, reps=3, rng=7, workers=2
+        )
+        traced = run_repetitions_parallel(
+            mechanism, factory, reps=3, rng=7, workers=2,
+            tracer=Tracer("merge", seed=7, config={}),
+        )
+        assert [m.total_payment for m in plain] == [
+            m.total_payment for m in traced
+        ]

@@ -85,12 +85,35 @@ class TestMetrics:
         assert metrics.running_time(out) == pytest.approx(0.3)
         assert metrics.auction_running_time(out) == pytest.approx(0.25)
 
-    def test_registry_names(self):
-        assert set(metrics.METRICS) == {
-            "avg-utility",
-            "avg-auction-utility",
-            "total-payment",
-            "total-auction-payment",
-            "running-time",
-            "auction-running-time",
-        }
+    def test_no_handrolled_registry(self):
+        """Run-internal tallies flow through repro.obs, not a metrics dict.
+
+        The old ``METRICS`` registry is gone; the counter contract lives
+        in the obs catalog, which must cover the runner's own counter.
+        """
+        from repro.obs.catalog import COUNTER_CATALOG
+
+        assert not hasattr(metrics, "METRICS")
+        assert "reps_completed" in COUNTER_CATALOG
+
+    def test_runner_counts_reps(self):
+        from repro.obs import Tracer
+
+        tracer = Tracer("test-runner")
+        mech = RIT(round_budget="until-complete")
+        ms = run_repetitions(mech, factory, reps=3, rng=0, tracer=tracer)
+        assert len(ms) == 3
+        assert tracer.value("reps_completed") == 3
+        assert tracer.value("mechanism_runs") == 3
+
+    def test_traced_matches_untraced(self):
+        from repro.obs import Tracer
+
+        mech = RIT(round_budget="until-complete")
+        plain = run_repetitions(mech, factory, reps=2, rng=7)
+        traced = run_repetitions(
+            mech, factory, reps=2, rng=7, tracer=Tracer("test-diff")
+        )
+        assert [m.total_payment for m in plain] == [
+            m.total_payment for m in traced
+        ]

@@ -147,3 +147,55 @@ class TestAudit:
         args = build_parser().parse_args(["audit"])
         assert args.max_capacity == 6
         assert args.reps == 20
+
+
+class TestTrace:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["trace"])
+        assert args.seed == 0
+        assert args.out == "TRACE_RIT.jsonl"
+        assert args.metrics == "prometheus"
+        assert not args.smoke
+
+    def test_trace_smoke_emits_valid_jsonl(self, tmp_path, capsys):
+        from repro.devtools.trace_schema import check_coverage
+        from repro.obs import read_jsonl
+
+        out = tmp_path / "trace.jsonl"
+        code = main(
+            ["trace", "--users", "120", "--types", "3",
+             "--tasks-per-type", "8", "--seed", "7",
+             "--out", str(out), "--smoke"]
+        )
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "trace smoke OK" in text
+        assert "run" in text and "mechanism" in text
+        events = read_jsonl(str(out))
+        assert check_coverage(events) == []
+        header = events[0]
+        assert header["seed"] == 7
+        assert header["run_id"].startswith("rit-7-")
+
+    def test_same_seed_reruns_identical_modulo_time(self, tmp_path):
+        from repro.obs import canonical_events, read_jsonl
+
+        paths = [tmp_path / "a.jsonl", tmp_path / "b.jsonl"]
+        for path in paths:
+            assert main(
+                ["trace", "--users", "120", "--types", "3",
+                 "--tasks-per-type", "8", "--seed", "2", "--out", str(path)]
+            ) == 0
+        first, second = (read_jsonl(str(p)) for p in paths)
+        assert canonical_events(first) == canonical_events(second)
+
+    def test_metrics_json_to_file(self, tmp_path, capsys):
+        metrics = tmp_path / "metrics.json"
+        assert main(
+            ["trace", "--users", "120", "--types", "3",
+             "--tasks-per-type", "8", "--out", str(tmp_path / "t.jsonl"),
+             "--metrics", "json", "--metrics-out", str(metrics)]
+        ) == 0
+        payload = json.loads(metrics.read_text())
+        assert payload["cra_rounds"]["unit"] == "count"
+        assert payload["tasks_allocated"]["value"] == 24

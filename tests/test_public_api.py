@@ -20,6 +20,7 @@ PACKAGES = [
     "repro.attacks",
     "repro.baselines",
     "repro.workloads",
+    "repro.obs",
     "repro.simulation",
     "repro.analysis",
     "repro.quality",
