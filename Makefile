@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test lint typecheck check trace trace-smoke bench bench-pytest bench-json smoke paper report examples clean
+.PHONY: install test lint typecheck check trace trace-smoke serve serve-smoke loadgen bench bench-pytest bench-json smoke paper report examples clean
 
 install:
 	pip install -e .
@@ -37,9 +37,24 @@ trace:
 trace-smoke:
 	PYTHONPATH=src $(PY) -m repro trace --smoke --out /tmp/rit_trace_smoke.jsonl
 
+# Online mechanism service over a seeded stream (docs/service.md);
+# every epoch is differential-checked against the offline RIT.run anchor.
+serve:
+	PYTHONPATH=src $(PY) -m repro serve
+
+# CI gate (<10s): tiny seeded loadgen -> epoch-batched serve with sharded
+# workers -> bit-identity differential vs the offline replay.
+serve-smoke:
+	PYTHONPATH=src $(PY) -m repro serve --smoke
+
+# Open-loop service throughput/latency (merge into BENCH_RIT.json with
+# `rit loadgen --bench`).
+loadgen:
+	PYTHONPATH=src $(PY) -m repro loadgen
+
 # The full gate new PRs must pass: domain lint + types + tier-1 tests
-# + the trace schema smoke.
-check: lint typecheck test trace-smoke
+# + the trace schema smoke + the service differential smoke.
+check: lint typecheck test trace-smoke serve-smoke
 
 # Fast perf baseline: times the scaling workload on both auction engines
 # and refreshes BENCH_RIT.json (the committed perf trajectory).

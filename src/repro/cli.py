@@ -16,6 +16,14 @@ Subcommands
                           and print the span tree + metrics snapshot
                           (``--smoke`` validates the trace against the
                           schema for CI).
+``rit serve``             run the online epoch-batched mechanism service over
+                          a seeded event stream and differential-check every
+                          epoch against the offline ``RIT.run`` anchor
+                          (``--smoke`` is the tiny CI preset).
+``rit loadgen``           drive the service open-loop at scale and report
+                          throughput / epoch-latency percentiles
+                          (``--bench`` merges the ``service`` section into
+                          ``BENCH_RIT.json``).
 ``rit lint``              run the AST-based domain linter over the tree
                           (also: ``python -m repro.devtools.lint``).
 """
@@ -185,9 +193,85 @@ def build_parser() -> argparse.ArgumentParser:
         "span/counter coverage gate; nonzero exit on any problem",
     )
 
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the epoch-batched mechanism service over a seeded stream",
+    )
+    p_serve.add_argument("--users", type=int, default=400)
+    p_serve.add_argument("--types", type=int, default=3)
+    p_serve.add_argument("--tasks-per-type", type=int, default=12)
+    p_serve.add_argument(
+        "--seed", type=int, default=0, help="root seed (scenario + epochs)"
+    )
+    p_serve.add_argument(
+        "--epoch-events", type=int, default=64,
+        help="close an epoch after this many admitted events",
+    )
+    p_serve.add_argument(
+        "--epoch-ticks", type=int, default=None,
+        help="also close an epoch after this many virtual-time ticks",
+    )
+    p_serve.add_argument(
+        "--queue", type=int, default=512, help="ingestion queue capacity"
+    )
+    p_serve.add_argument(
+        "--withdraw-fraction", type=float, default=0.05,
+        help="seeded fraction of joined users that withdraw",
+    )
+    p_serve.add_argument(
+        "--engine", choices=["sorted", "reference"], default="sorted"
+    )
+    p_serve.add_argument(
+        "--no-shard", action="store_true",
+        help="run epochs unsharded (single RIT.run per epoch)",
+    )
+    p_serve.add_argument(
+        "--ledger", default=None,
+        help="directory for the persistent JSONL outcome ledger",
+    )
+    p_serve.add_argument(
+        "--trace-out", default=None,
+        help="write the service trace (spans + counters) to this JSONL path",
+    )
+    p_serve.add_argument(
+        "--smoke", action="store_true",
+        help="tiny CI preset (<10s): forces a small scenario and gates on "
+        "the online-vs-offline differential check",
+    )
+
+    p_load = sub.add_parser(
+        "loadgen",
+        help="drive the service open-loop and report throughput/latency",
+    )
+    p_load.add_argument("--users", type=int, default=26000)
+    p_load.add_argument("--types", type=int, default=4)
+    p_load.add_argument("--tasks-per-type", type=int, default=50)
+    p_load.add_argument("--seed", type=int, default=0)
+    p_load.add_argument("--epoch-events", type=int, default=8192)
+    p_load.add_argument("--epoch-ticks", type=int, default=None)
+    p_load.add_argument("--queue", type=int, default=4096)
+    p_load.add_argument("--withdraw-fraction", type=float, default=0.02)
+    p_load.add_argument(
+        "--engine", choices=["sorted", "reference"], default="sorted"
+    )
+    p_load.add_argument("--no-shard", action="store_true")
+    p_load.add_argument(
+        "--min-events", type=int, default=None,
+        help="refuse to measure a stream smaller than this "
+        "(default 50000 with --bench, else 0)",
+    )
+    p_load.add_argument(
+        "--bench", action="store_true",
+        help="merge the measured ``service`` section into the bench doc",
+    )
+    p_load.add_argument(
+        "--out", default="BENCH_RIT.json",
+        help="bench document to merge into (with --bench)",
+    )
+
     p_lint = sub.add_parser(
         "lint",
-        help="run the RIT domain linter (RIT001-RIT007 invariants)",
+        help="run the RIT domain linter (RIT001-RIT008 invariants)",
     )
     from repro.devtools.lint.cli import add_arguments as _add_lint_arguments
 
@@ -473,6 +557,164 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.core.rit import RIT
+    from repro.core.rng import spawn_seeds
+    from repro.obs import Tracer, config_hash
+    from repro.service import (
+        MechanismService,
+        OutcomeLedger,
+        ServiceConfig,
+        build_scenario,
+        differential_check,
+        replay_outcomes,
+        scenario_event_stream,
+    )
+
+    if args.smoke:
+        users, types, tasks_per_type = 180, 3, 8
+        epoch_events, epoch_ticks = 48, args.epoch_ticks
+    else:
+        users, types = args.users, args.types
+        tasks_per_type = args.tasks_per_type
+        epoch_events, epoch_ticks = args.epoch_events, args.epoch_ticks
+    seed = int(args.seed)
+    scenario_rng, stream_rng = spawn_seeds(seed, 2)
+    scenario = build_scenario(users, types, tasks_per_type, scenario_rng)
+    events = scenario_event_stream(
+        scenario, stream_rng, withdraw_fraction=args.withdraw_fraction
+    )
+    config = ServiceConfig(
+        seed=seed,
+        queue_size=args.queue,
+        epoch_max_events=epoch_events,
+        epoch_max_ticks=epoch_ticks,
+        shard_workers=not args.no_shard,
+    )
+    mechanism_params = {
+        "engine": args.engine,
+        "rng_policy": "per-type",
+        "round_budget": "until-complete",
+    }
+    run_config = {
+        "users": users,
+        "types": types,
+        "tasks_per_type": tasks_per_type,
+        "epoch_max_events": epoch_events,
+        "epoch_max_ticks": epoch_ticks,
+        **mechanism_params,
+    }
+    run_id = f"rit-serve-{seed}-{config_hash(run_config)}"
+    tracer = (
+        Tracer(run_id, seed=seed, config=run_config)
+        if args.trace_out
+        else None
+    )
+    ledger = OutcomeLedger(args.ledger, run_id) if args.ledger else None
+    service = MechanismService(
+        RIT(**mechanism_params),
+        scenario.job,
+        config,
+        tracer=tracer,
+        ledger=ledger,
+    )
+    report = service.serve_stream(events)
+
+    print(f"run {run_id}: users={users}  |J|={scenario.job.size}  "
+          f"stream={len(events)} events")
+    print(f"ingest: offered={report.offered}  accepted={report.accepted}  "
+          f"invalid={report.invalid}  rejected={report.rejected}  "
+          f"queue highwater={report.queue_highwater}/{args.queue}")
+    print(f"state:  applied={report.applied}  refused={report.refused}")
+    print(f"{'epoch':>5}  {'events':>6}  {'users':>6}  {'done':>5}  "
+          f"{'payments':>12}  {'latency':>9}")
+    for epoch in report.epochs:
+        print(
+            f"{epoch.index:>5}  {epoch.batch_events:>6}  {epoch.users:>6}  "
+            f"{str(epoch.outcome.completed):>5}  "
+            f"{epoch.outcome.total_payment:>12,.2f}  "
+            f"{epoch.latency_seconds * 1000:>7.1f}ms"
+        )
+    if ledger is not None:
+        print(f"ledger -> {ledger.epochs_path}")
+    if tracer is not None:
+        tracer.write_jsonl(args.trace_out)
+        print(f"trace ({len(tracer.events)} events) -> {args.trace_out}")
+
+    replayed = replay_outcomes(
+        report.consumed,
+        scenario.job,
+        RIT(**mechanism_params),
+        seed=seed,
+        policy=config.policy(),
+    )
+    problems = differential_check(
+        report.outcomes(), [outcome for _, outcome in replayed]
+    )
+    if problems:
+        print(f"\ndifferential check FAILED ({len(problems)} problems):")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    print(f"\ndifferential check OK: {len(report.epochs)} epochs "
+          "bit-identical to the offline RIT.run anchor")
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from repro.devtools.bench import validate_bench_schema, write_bench
+    from repro.service.loadgen import run_service_bench
+
+    min_events = args.min_events
+    if min_events is None:
+        min_events = 50_000 if args.bench else 0
+    section = run_service_bench(
+        users=args.users,
+        types=args.types,
+        tasks_per_type=args.tasks_per_type,
+        seed=args.seed,
+        epoch_max_events=args.epoch_events,
+        epoch_max_ticks=args.epoch_ticks,
+        queue_size=args.queue,
+        withdraw_fraction=args.withdraw_fraction,
+        engine=args.engine,
+        shard_workers=not args.no_shard,
+        min_events=min_events,
+    )
+    events = section["events"]
+    latency = section["epoch_latency_seconds"]
+    print(f"stream: {events['generated']} events generated, "
+          f"{events['offered']} offered "
+          f"({events['accepted']} accepted / {events['invalid']} invalid / "
+          f"{events['rejected']} rejected)")
+    print(f"state:  {events['applied']} applied, {events['refused']} refused")
+    print(f"epochs: {section['epochs']['count']} "
+          f"({section['epochs']['completed']} completed, "
+          f"{section['epochs']['voided']} voided)")
+    print(f"throughput: {section['events_per_sec']:,.0f} events/s "
+          f"over {section['elapsed_seconds']:.2f}s")
+    print(f"epoch latency: p50 {latency['p50'] * 1000:.1f} ms  "
+          f"p95 {latency['p95'] * 1000:.1f} ms")
+    print(f"queue: highwater {section['queue']['highwater']}"
+          f"/{section['queue']['capacity']}")
+    if args.bench:
+        try:
+            with open(args.out, "r", encoding="utf-8") as handle:
+                doc = json.load(handle)
+        except FileNotFoundError:
+            doc = {}
+        doc["service"] = section
+        errors = validate_bench_schema(doc) if "schema_version" in doc else []
+        if errors:
+            print(f"refusing to write {args.out}: merged doc is invalid:")
+            for error in errors:
+                print(f"  {error}")
+            return 1
+        write_bench(doc, args.out)
+        print(f"service section merged -> {args.out}")
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.devtools.lint.cli import run as run_lint
 
@@ -490,6 +732,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "audit": _cmd_audit,
         "bench": _cmd_bench,
         "trace": _cmd_trace,
+        "serve": _cmd_serve,
+        "loadgen": _cmd_loadgen,
         "lint": _cmd_lint,
     }
     return handlers[args.command](args)

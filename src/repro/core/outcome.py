@@ -14,12 +14,12 @@ scenarios, utilities of all identities of a physical user are summed by
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, Iterable, List, Mapping, Optional
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.core.exceptions import ModelError
 from repro.core.types import Job
 
-__all__ = ["RoundRecord", "MechanismOutcome"]
+__all__ = ["RoundRecord", "TypeShardResult", "MechanismOutcome"]
 
 
 @dataclass(frozen=True)
@@ -33,6 +33,38 @@ class RoundRecord:
     price: float
     n_s: int
     overflow_trimmed: bool
+
+
+@dataclass(frozen=True)
+class TypeShardResult:
+    """Auction-phase result for one task type (one RIT shard).
+
+    RIT's auction runs independently per task type (CRA, Algorithm 1), so
+    a mechanism run decomposes into per-type shards that can execute on
+    separate workers.  A shard is self-contained: its allocation and
+    auction-payment maps only mention users of its own type (every user
+    bids for exactly one type), so merging shards in type order is a
+    collision-free dict union — :meth:`RIT.join_shards` relies on this.
+
+    Attributes
+    ----------
+    task_type:
+        ``τ_i`` — the type this shard auctioned.
+    covered:
+        True when every one of the type's ``m_i`` tasks was allocated
+        within the round budget.
+    allocation / auction_payments:
+        ``{user_id: x_j}`` and ``{user_id: p^A_j}`` restricted to this
+        type's participants.
+    rounds:
+        Per-round diagnostics, in execution order.
+    """
+
+    task_type: int
+    covered: bool
+    allocation: Dict[int, int]
+    auction_payments: Dict[int, float]
+    rounds: Tuple[RoundRecord, ...]
 
 
 @dataclass(frozen=True)

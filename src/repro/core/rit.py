@@ -80,18 +80,37 @@ from repro.core.exceptions import (
 )
 from repro.core.mechanism import Mechanism
 from repro.core.numeric import is_zero
-from repro.core.outcome import MechanismOutcome, RoundRecord
+from repro.core.outcome import MechanismOutcome, RoundRecord, TypeShardResult
 from repro.core.payments import DEFAULT_DECAY, tree_payments
-from repro.core.rng import SeedLike, as_generator
+from repro.core.rng import SeedLike, as_generator, spawn_seeds
 from repro.core.types import Ask, Job
 from repro.obs.tracer import NULL_TRACER, NullTracer
 from repro.tree.incentive_tree import IncentiveTree
 
-__all__ = ["RIT", "BUDGET_POLICIES", "ENGINES"]
+__all__ = [
+    "RIT",
+    "BUDGET_POLICIES",
+    "ENGINES",
+    "RNG_POLICIES",
+    "profile_arrays",
+    "pools_from_arrays",
+]
 
 BUDGET_POLICIES = ("lemma", "paper", "until-complete")
 
 ENGINES = ("sorted", "reference")
+
+#: How randomness is threaded through the per-type auction loops.
+#:
+#: * ``"stream"`` *(default)* — one generator is shared sequentially across
+#:   all task types (the historical behaviour; all goldens assume it).
+#: * ``"per-type"`` — the run seed spawns one child :class:`SeedSequence`
+#:   per task type (keyed by type index), and each type's CRA loop draws
+#:   from its own generator.  Type auctions then consume *independent*
+#:   streams, so they can execute concurrently on different workers and
+#:   still reproduce the offline result bit-for-bit — this is the
+#:   determinism contract of :mod:`repro.service`.
+RNG_POLICIES = ("stream", "per-type")
 
 #: Safety cap multiplier for the "until-complete" policy: the number of
 #: rounds is bounded by ``_SAFETY_BASE + _SAFETY_LOG_FACTOR * ceil(log2(m_i+2))``
@@ -130,6 +149,11 @@ class RIT(Mechanism):
         One of :data:`ENGINES` — ``"sorted"`` (incremental sorted engine,
         default) or ``"reference"`` (per-round rebuild); see the module
         docstring.  Outcomes are seed-for-seed identical between the two.
+    rng_policy:
+        One of :data:`RNG_POLICIES` — ``"stream"`` (one generator shared
+        sequentially across types, default) or ``"per-type"`` (independent
+        spawned stream per task type; required for sharded execution to
+        match the offline run).
     tracer:
         Observability sink (see :mod:`repro.obs`); defaults to the shared
         no-op tracer.  Can also be injected after construction with
@@ -152,6 +176,7 @@ class RIT(Mechanism):
         k_max: Optional[int] = None,
         sample_rate_scale: float = 1.0,
         engine: str = "sorted",
+        rng_policy: str = "stream",
         tracer: Optional[NullTracer] = None,
         raise_on_failure: bool = False,
     ) -> None:
@@ -165,6 +190,10 @@ class RIT(Mechanism):
             raise ConfigurationError(
                 f"engine must be one of {ENGINES}, got {engine!r}"
             )
+        if rng_policy not in RNG_POLICIES:
+            raise ConfigurationError(
+                f"rng_policy must be one of {RNG_POLICIES}, got {rng_policy!r}"
+            )
         if not 0.0 < decay < 1.0:
             raise ConfigurationError(f"decay must be in (0, 1), got {decay}")
         if k_max is not None and k_max <= 0:
@@ -175,6 +204,7 @@ class RIT(Mechanism):
             )
         self.sample_rate_scale = float(sample_rate_scale)
         self.engine = engine
+        self.rng_policy = rng_policy
         self.h = float(h)
         self.decay = float(decay)
         self.round_budget = round_budget
@@ -255,79 +285,55 @@ class RIT(Mechanism):
             tracer.count("mechanism_runs")
         t_start = clock()
 
-        allocation: Dict[int, int] = {}
-        auction_payments: Dict[int, float] = {}
-        rounds_log: List[RoundRecord] = []
         timers = StageTimers(clock=clock) if self.engine == "sorted" else None
-        completed = True
+        shards: List[TypeShardResult] = []
 
         if asks:
-            uid_arr, type_arr, val_arr, cap_arr = _profile_arrays(asks)
+            uid_arr, type_arr, val_arr, cap_arr = profile_arrays(asks)
             k_max = self.k_max_override or int(cap_arr.max())
-            by_type = _pools_from_arrays(uid_arr, type_arr, val_arr, cap_arr)
+            by_type = pools_from_arrays(uid_arr, type_arr, val_arr, cap_arr)
+            per_type = self.rng_policy == "per-type"
+            type_seeds = spawn_seeds(gen, job.num_types) if per_type else None
             for tau in job.types():
                 m_i = job.tasks_of(tau)
                 if m_i == 0:
                     continue
-                done = self._auction_type(
-                    tau,
-                    m_i,
-                    by_type.get(tau),
-                    k_max,
-                    job.num_types,
-                    gen,
-                    allocation,
-                    auction_payments,
-                    rounds_log,
-                    timers,
+                shard_gen = (
+                    as_generator(type_seeds[tau]) if type_seeds is not None else gen
                 )
-                if not done:
-                    completed = False
-        else:
-            completed = job.size == 0
+                shards.append(
+                    self.run_type_shard(
+                        tau,
+                        m_i,
+                        by_type.get(tau),
+                        k_max,
+                        job.num_types,
+                        shard_gen,
+                        timers=timers,
+                    )
+                )
 
         t_auction = clock()
 
-        outcome = MechanismOutcome(
-            allocation=allocation,
-            auction_payments=auction_payments,
-            payments={},
-            completed=completed,
-            rounds=rounds_log,
-            elapsed_auction=t_auction - t_start,
-            stage_timings=timers.as_dict() if timers is not None else {},
+        final = self.join_shards(
+            job,
+            asks,
+            tree,
+            shards,
+            started_at=t_start,
+            auction_ended_at=t_auction,
+            timers=timers,
         )
-        if not completed:
-            # Algorithm 3 line 27: void everything.
+        if not final.completed and self.raise_on_failure:
+            # Algorithm 3 line 27 escalated: unwind spans, then raise.
             if tracing:
-                tracer.count("runs_voided")
-            if self.raise_on_failure:
-                if tracing:
-                    tracer.end(mech_sid)
-                    if owns_run:
-                        tracer.end(run_sid)
-                raise AllocationError(
-                    "auction phase could not allocate every task within the "
-                    f"round budget (policy={self.round_budget!r})"
-                )
-            final = outcome.void(elapsed_total=clock() - t_start)
-        else:
-            # Payment determination phase (lines 22-25).
-            if asks:
-                types = dict(zip(uid_arr.tolist(), type_arr.tolist()))
-            else:
-                types = {}
-            payments = tree_payments(
-                tree, auction_payments, types, decay=self.decay, tracer=tracer
+                tracer.end(mech_sid)
+                if owns_run:
+                    tracer.end(run_sid)
+            raise AllocationError(
+                "auction phase could not allocate every task within the "
+                f"round budget (policy={self.round_budget!r})"
             )
-            kept = {uid: p for uid, p in payments.items() if not is_zero(p)}
-            final = outcome.finalize(
-                payments=kept, elapsed_total=clock() - t_start
-            )
-            if tracing:
-                tracer.count("runs_completed")
-                tracer.count("payment_recipients", len(kept))
-                tracer.count("payments_pruned", len(payments) - len(kept))
         if tracing:
             if timers is not None:
                 for stage, seconds in timers.as_dict().items():
@@ -340,23 +346,35 @@ class RIT(Mechanism):
         return final
 
     # ------------------------------------------------------------------ #
-    # Internals
+    # Sharded execution (auction phase decomposed per task type)
     # ------------------------------------------------------------------ #
 
-    def _auction_type(
+    def run_type_shard(
         self,
         tau: int,
         m_i: int,
         group: Optional[SortedTypePool],
         k_max: int,
         num_types: int,
-        gen: np.random.Generator,
-        allocation: Dict[int, int],
-        auction_payments: Dict[int, float],
-        rounds_log: List[RoundRecord],
-        timers: Optional[StageTimers],
-    ) -> bool:
-        """Run the multi-round CRA loop for one type; True iff covered."""
+        rng: SeedLike,
+        *,
+        timers: Optional[StageTimers] = None,
+    ) -> TypeShardResult:
+        """Run the multi-round CRA loop for one task type (Alg. 3 lines 8-21).
+
+        This is one *shard* of the auction phase: it touches only its own
+        type's pool and returns a self-contained
+        :class:`~repro.core.outcome.TypeShardResult` instead of mutating
+        shared run state, so shards may execute concurrently (each with an
+        independent ``rng`` stream — see :data:`RNG_POLICIES`) and be
+        merged afterwards by :meth:`join_shards`.  ``group`` may be None
+        when no user bids for the type (the shard is then trivially
+        uncovered unless ``m_i`` is 0, which callers filter out).
+        """
+        gen = as_generator(rng)
+        allocation: Dict[int, int] = {}
+        auction_payments: Dict[int, float] = {}
+        rounds_log: List[RoundRecord] = []
         budget = self.budget_for(m_i, k_max, num_types)
         use_sorted = self.engine == "sorted"
         tracer = self.tracer
@@ -445,7 +463,89 @@ class RIT(Mechanism):
             if covered:
                 tracer.count("types_covered")
             tracer.end(cra_sid)
-        return covered
+        return TypeShardResult(
+            task_type=int(tau),
+            covered=covered,
+            allocation=allocation,
+            auction_payments=auction_payments,
+            rounds=tuple(rounds_log),
+        )
+
+    def join_shards(
+        self,
+        job: Job,
+        asks: Mapping[int, Ask],
+        tree: IncentiveTree,
+        shards: "List[TypeShardResult]",
+        *,
+        started_at: float = 0.0,
+        auction_ended_at: Optional[float] = None,
+        timers: Optional[StageTimers] = None,
+    ) -> MechanismOutcome:
+        """Assemble a full :class:`MechanismOutcome` from per-type shards.
+
+        Shards must be supplied in ascending type order (the order
+        :meth:`run` produces) so the merged maps preserve the historical
+        insertion order.  The merge is a collision-free union — every user
+        bids for exactly one type.  Completion requires every type with a
+        positive task count to have a *covered* shard; otherwise the
+        outcome is voided (Algorithm 3 line 27).  The payment
+        determination phase (lines 22-25) runs here, so sharded callers
+        get tree payments and budget splits identical to :meth:`run`.
+
+        This method never raises on incomplete allocation —
+        ``raise_on_failure`` is applied by :meth:`run` after spans unwind.
+        """
+        tracer = self.tracer
+        tracing = tracer.enabled
+        clock = tracer.clock
+        end = auction_ended_at if auction_ended_at is not None else started_at
+
+        allocation: Dict[int, int] = {}
+        auction_payments: Dict[int, float] = {}
+        rounds_log: List[RoundRecord] = []
+        for shard in shards:
+            allocation.update(shard.allocation)
+            auction_payments.update(shard.auction_payments)
+            rounds_log.extend(shard.rounds)
+        covered_types = {s.task_type for s in shards if s.covered}
+        completed = all(
+            job.tasks_of(tau) == 0 or tau in covered_types
+            for tau in job.types()
+        )
+
+        outcome = MechanismOutcome(
+            allocation=allocation,
+            auction_payments=auction_payments,
+            payments={},
+            completed=completed,
+            rounds=rounds_log,
+            elapsed_auction=end - started_at,
+            stage_timings=timers.as_dict() if timers is not None else {},
+        )
+        if not completed:
+            # Algorithm 3 line 27: void everything.
+            if tracing:
+                tracer.count("runs_voided")
+            return outcome.void(elapsed_total=clock() - started_at)
+        # Payment determination phase (lines 22-25).
+        types = {uid: ask.task_type for uid, ask in asks.items()}
+        payments = tree_payments(
+            tree, auction_payments, types, decay=self.decay, tracer=tracer
+        )
+        kept = {uid: p for uid, p in payments.items() if not is_zero(p)}
+        final = outcome.finalize(
+            payments=kept, elapsed_total=clock() - started_at
+        )
+        if tracing:
+            tracer.count("runs_completed")
+            tracer.count("payment_recipients", len(kept))
+            tracer.count("payments_pruned", len(payments) - len(kept))
+        return final
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
 
     @staticmethod
     def _validate(job: Job, asks: Mapping[int, Ask], tree: IncentiveTree) -> None:
@@ -477,7 +577,7 @@ class RIT(Mechanism):
 _TypeGroup = SortedTypePool
 
 
-def _profile_arrays(
+def profile_arrays(
     asks: Mapping[int, Ask],
 ) -> "tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]":
     """Flatten the ask profile into aligned arrays, in profile order."""
@@ -490,7 +590,7 @@ def _profile_arrays(
     return uid_arr, type_arr, val_arr, cap_arr
 
 
-def _pools_from_arrays(
+def pools_from_arrays(
     uid_arr: np.ndarray,
     type_arr: np.ndarray,
     val_arr: np.ndarray,
@@ -514,4 +614,9 @@ def _group_by_type(
     asks: Mapping[int, Ask], num_types: int
 ) -> Dict[int, SortedTypePool]:
     """Split the ask profile into per-type presorted pools."""
-    return _pools_from_arrays(*_profile_arrays(asks))
+    return pools_from_arrays(*profile_arrays(asks))
+
+
+# Historical private aliases (pre-service-PR call sites and tests).
+_profile_arrays = profile_arrays
+_pools_from_arrays = pools_from_arrays

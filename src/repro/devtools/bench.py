@@ -37,6 +37,7 @@ from repro.workloads.users import UserDistribution
 __all__ = [
     "BENCH_SCHEMA_VERSION",
     "PRE_PR_BASELINE",
+    "latency_summary",
     "run_scaling_bench",
     "validate_bench_schema",
     "write_bench",
@@ -75,6 +76,19 @@ def _summary(samples: Sequence[float]) -> Dict[str, float]:
         "mean": float(sum(samples) / len(samples)),
         "min": float(min(samples)),
     }
+
+
+def latency_summary(samples: Sequence[float]) -> Dict[str, float]:
+    """p50/p95/mean/min of a latency sample set (nearest-rank percentiles).
+
+    The public face of the bench summary used by the serving-path bench
+    (``rit loadgen --bench``); an empty sample set (a run with zero
+    epochs) summarizes to all-zero rather than erroring, so bench
+    documents stay schema-valid on degenerate configs.
+    """
+    if not samples:
+        return {"p50": 0.0, "p95": 0.0, "mean": 0.0, "min": 0.0}
+    return _summary(samples)
 
 
 def _machine_info() -> Dict[str, Any]:
@@ -273,4 +287,76 @@ def validate_bench_schema(doc: Any) -> List[str]:
                     errors.append(
                         f"{prefix}.stages must cover all of {STAGE_NAMES}"
                     )
+    if "service" in doc:
+        errors.extend(_validate_service_section(doc["service"]))
+    return errors
+
+
+def _validate_service_section(section: Any) -> List[str]:
+    """Schema of the optional ``service`` section (``rit loadgen --bench``)."""
+    errors: List[str] = []
+    if not isinstance(section, dict):
+        return ["service is not an object"]
+    events = section.get("events")
+    if not isinstance(events, dict):
+        errors.append("service.events is not an object")
+    else:
+        for key in (
+            "generated",
+            "offered",
+            "accepted",
+            "invalid",
+            "rejected",
+            "applied",
+            "refused",
+        ):
+            value = events.get(key)
+            if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+                errors.append(f"service.events.{key} must be a non-negative int")
+        if not errors and events["offered"] != (
+            events["accepted"] + events["invalid"] + events["rejected"]
+        ):
+            errors.append(
+                "service.events must balance: offered == accepted + invalid "
+                "+ rejected (rejections are counted, never silently dropped)"
+            )
+    throughput = section.get("events_per_sec")
+    if not isinstance(throughput, float) or throughput <= 0.0:
+        errors.append("service.events_per_sec must be a positive float")
+    epochs = section.get("epochs")
+    if not isinstance(epochs, dict):
+        errors.append("service.epochs is not an object")
+    else:
+        for key in ("count", "completed", "voided"):
+            value = epochs.get(key)
+            if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+                errors.append(f"service.epochs.{key} must be a non-negative int")
+    latency = section.get("epoch_latency_seconds")
+    if not isinstance(latency, dict):
+        errors.append("service.epoch_latency_seconds is not an object")
+    else:
+        for stat in ("p50", "p95", "mean", "min"):
+            value = latency.get(stat)
+            if not isinstance(value, float) or value < 0.0:
+                errors.append(
+                    f"service.epoch_latency_seconds.{stat} must be a "
+                    "non-negative float"
+                )
+    queue = section.get("queue")
+    if not isinstance(queue, dict):
+        errors.append("service.queue is not an object")
+    else:
+        capacity = queue.get("capacity")
+        highwater = queue.get("highwater")
+        if not isinstance(capacity, int) or capacity <= 0:
+            errors.append("service.queue.capacity must be a positive int")
+        if not isinstance(highwater, int) or highwater < 0:
+            errors.append("service.queue.highwater must be a non-negative int")
+        elif isinstance(capacity, int) and highwater > capacity:
+            errors.append(
+                "service.queue.highwater exceeds capacity — queue growth "
+                "was unbounded"
+            )
+    if not isinstance(section.get("config"), dict):
+        errors.append("service.config is not an object")
     return errors

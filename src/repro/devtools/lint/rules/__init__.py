@@ -17,6 +17,7 @@ from repro.devtools.lint.rules.rit004_exports import ExportDrift
 from repro.devtools.lint.rules.rit005_wallclock import HiddenInputs
 from repro.devtools.lint.rules.rit006_exceptions import SwallowedExceptions
 from repro.devtools.lint.rules.rit007_diagnostics import RawDiagnostics
+from repro.devtools.lint.rules.rit008_async_blocking import AsyncBlockingCalls
 
 __all__ = [
     "Rule",
@@ -30,6 +31,7 @@ __all__ = [
     "HiddenInputs",
     "SwallowedExceptions",
     "RawDiagnostics",
+    "AsyncBlockingCalls",
 ]
 
 ALL_RULES: Tuple[Rule, ...] = (
@@ -40,6 +42,7 @@ ALL_RULES: Tuple[Rule, ...] = (
     HiddenInputs(),
     SwallowedExceptions(),
     RawDiagnostics(),
+    AsyncBlockingCalls(),
 )
 
 RULES_BY_ID: Dict[str, Rule] = {rule.id: rule for rule in ALL_RULES}

@@ -41,6 +41,17 @@ COUNTER_CATALOG: Dict[str, Tuple[str, str]] = {
     # repro.simulation.runner / parallel
     "reps_completed": ("count", "simulation repetitions measured"),
     "worker_traces_merged": ("count", "per-worker event sinks absorbed by the parent"),
+    # repro.service — ingestion frontend
+    "service_events_offered": ("count", "events presented to the ingestion frontend"),
+    "service_events_accepted": ("count", "events admitted into the ingestion queue"),
+    "service_events_invalid": ("count", "events refused by structural validation"),
+    "service_events_rejected": ("count", "events rejected by queue backpressure"),
+    "service_queue_highwater": ("count", "new ingestion-queue depth peaks (delta = peak growth)"),
+    # repro.service — state machine and epoch scheduler
+    "service_events_applied": ("count", "events applied to the cumulative service state"),
+    "service_events_refused": ("count", "events refused by stateful admission checks"),
+    "service_epochs_closed": ("count", "epoch batches closed and executed"),
+    "service_shards_run": ("count", "per-type auction shards executed by workers"),
     # repro.simulation.report
     "figures_rendered": ("count", "report figures rendered"),
     "shape_checks_passed": ("count", "qualitative shape checks that passed"),

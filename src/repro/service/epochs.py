@@ -1,0 +1,216 @@
+"""Epoch batching: close a batch every T events or Δ virtual-time ticks.
+
+Batching is a *pure function of the admitted event stream*: the online
+scheduler (:mod:`repro.service.service`) and the offline replay
+(:mod:`repro.service.replay`) drive the same :class:`BatchAccumulator`,
+so both cut identical epochs from identical streams — wall time never
+enters the decision.
+
+Triggers, checked in this order for each arriving event:
+
+1. **tick trigger** — if a non-empty batch is pending and the event's
+   tick has advanced ``max_ticks`` or more past the batch's first tick,
+   the pending batch closes *before* the event (the event belongs to the
+   next epoch, like a cron boundary);
+2. **count trigger** — after the event is appended, a batch holding
+   ``max_events`` events closes immediately.
+
+An epoch's auction always runs over the *cumulative* state at close, not
+just the batch — the batch only decides when auctions fire and which
+seed they draw (see ``docs/service.md``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.exceptions import ConfigurationError
+from repro.core.types import Ask, Job
+from repro.service.events import ServiceEvent
+from repro.service.state import ServiceState
+from repro.tree.incentive_tree import IncentiveTree
+
+__all__ = [
+    "EpochPolicy",
+    "EpochBatch",
+    "BatchAccumulator",
+    "EpochSnapshot",
+    "EpochPipeline",
+    "epoch_seed",
+]
+
+
+@dataclass(frozen=True)
+class EpochPolicy:
+    """When to close an epoch batch.
+
+    ``max_events`` must be positive; ``max_ticks`` of None disables the
+    virtual-time trigger (count-only batching).
+    """
+
+    max_events: int = 256
+    max_ticks: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.max_events <= 0:
+            raise ConfigurationError(
+                f"max_events must be positive, got {self.max_events}"
+            )
+        if self.max_ticks is not None and self.max_ticks <= 0:
+            raise ConfigurationError(
+                f"max_ticks must be positive when set, got {self.max_ticks}"
+            )
+
+
+@dataclass(frozen=True)
+class EpochBatch:
+    """Immutable snapshot of one closed batch of admitted events."""
+
+    index: int
+    events: Tuple[ServiceEvent, ...]
+    first_tick: int
+    last_tick: int
+
+    @property
+    def num_events(self) -> int:
+        return len(self.events)
+
+
+class BatchAccumulator:
+    """Streaming batch cutter shared by the service and the replayer."""
+
+    def __init__(self, policy: EpochPolicy) -> None:
+        self.policy = policy
+        self._pending: List[ServiceEvent] = []
+        self._next_index = 0
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    @property
+    def next_index(self) -> int:
+        """Index the next closed batch will carry."""
+        return self._next_index
+
+    def maybe_close_on_tick(self, tick: int) -> Optional[EpochBatch]:
+        """Close the pending batch if ``tick`` crossed the Δ-tick horizon.
+
+        Call this with every arriving event's tick *before* applying the
+        event: the closing epoch must not see it.
+        """
+        if (
+            self._pending
+            and self.policy.max_ticks is not None
+            and tick - self._pending[0].tick >= self.policy.max_ticks
+        ):
+            return self._close()
+        return None
+
+    def append(self, event: ServiceEvent) -> Optional[EpochBatch]:
+        """Add an admitted event; returns a batch if the count trigger hit."""
+        self._pending.append(event)
+        if len(self._pending) >= self.policy.max_events:
+            return self._close()
+        return None
+
+    def flush(self) -> Optional[EpochBatch]:
+        """Close whatever is pending (end of stream); None when empty."""
+        if self._pending:
+            return self._close()
+        return None
+
+    def _close(self) -> EpochBatch:
+        batch = EpochBatch(
+            index=self._next_index,
+            events=tuple(self._pending),
+            first_tick=self._pending[0].tick,
+            last_tick=self._pending[-1].tick,
+        )
+        self._next_index += 1
+        self._pending.clear()
+        return batch
+
+
+def epoch_seed(root_seed: int, epoch_index: int) -> np.random.SeedSequence:
+    """The seed of epoch ``epoch_index`` under service root seed ``root_seed``.
+
+    A *fresh* ``SeedSequence(root_seed)`` is built on every call and the
+    child is selected by spawn position, so the result depends only on the
+    two integers — never on how many times any live SeedSequence object
+    has spawned before.  (``SeedSequence`` children are keyed by
+    ``(entropy, spawn_key)``; spawning from a reused object would advance
+    a hidden counter and silently change later epochs.)
+    """
+    if epoch_index < 0:
+        raise ConfigurationError(f"epoch_index must be >= 0, got {epoch_index}")
+    return np.random.SeedSequence(root_seed).spawn(epoch_index + 1)[epoch_index]
+
+
+@dataclass(frozen=True)
+class EpochSnapshot:
+    """A closed batch plus the cumulative state *at the instant of close*.
+
+    The auction for an epoch may run arbitrarily later (or concurrently
+    with further ingestion); correctness requires the inputs to be frozen
+    at close time, which is exactly what this snapshot is.
+    """
+
+    batch: EpochBatch
+    asks: Dict[int, Ask]
+    tree: IncentiveTree
+
+
+class EpochPipeline:
+    """The shared per-event admission/batching step.
+
+    Both the online service and the offline replayer feed events through
+    one instance of this class; epoch *execution* differs between them
+    (sharded workers vs. a single offline ``RIT.run``), but admission,
+    batching and state snapshots are literally the same code path — the
+    differential test then checks only the auction arithmetic.
+
+    Note the order inside :meth:`step`: the tick trigger is evaluated
+    against the arriving event *before* the event touches the state, so a
+    tick-closed epoch never sees the event that closed it; the count
+    trigger fires after admission, so a count-closed epoch always
+    includes its final event.  Refused events never join batches but
+    their ticks still advance the virtual clock.
+    """
+
+    def __init__(self, job: Job, policy: EpochPolicy) -> None:
+        self.job = job
+        self.state = ServiceState(job)
+        self.accumulator = BatchAccumulator(policy)
+
+    def step(
+        self, event: ServiceEvent
+    ) -> Tuple[Optional[str], List[EpochSnapshot]]:
+        """Process one event; returns (refusal reason or None, snapshots)."""
+        snapshots: List[EpochSnapshot] = []
+        closed = self.accumulator.maybe_close_on_tick(event.tick)
+        if closed is not None:
+            snapshots.append(self._snapshot(closed))
+        refused = self.state.apply(event)
+        if refused is None:
+            closed = self.accumulator.append(event)
+            if closed is not None:
+                snapshots.append(self._snapshot(closed))
+        return refused, snapshots
+
+    def finish(self) -> Optional[EpochSnapshot]:
+        """Flush the trailing partial batch at end of stream."""
+        closed = self.accumulator.flush()
+        if closed is None:
+            return None
+        return self._snapshot(closed)
+
+    def _snapshot(self, batch: EpochBatch) -> EpochSnapshot:
+        return EpochSnapshot(
+            batch=batch,
+            asks=self.state.snapshot_asks(),
+            tree=self.state.snapshot_tree(),
+        )

@@ -1,0 +1,135 @@
+"""Ingestion event model for the online mechanism service.
+
+The service consumes an ordered stream of three event kinds, mirroring
+what a deployed crowdsensing platform would observe during solicitation
+(§4 of the paper): referral edges as users solicit each other, sealed ask
+submissions as solicited users join, and withdrawals when a user leaves
+before the next auction.  Every event carries a *virtual-time* ``tick``
+(non-negative, non-decreasing along a stream) — the epoch scheduler cuts
+batches on ticks, never on wall time, so a seeded stream always produces
+the same epochs (the determinism contract of :mod:`repro.service`).
+
+Events are frozen: once ingested they are appended to batches and ledgers
+that must stay replayable.  Structural validation (does the event parse
+into the core model at all?) lives here in :func:`validate_event`;
+*stateful* admission (duplicate ask, unknown referrer …) is the state
+machine's job (:mod:`repro.service.state`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, Mapping, Optional, Union
+
+from repro.core.exceptions import ModelError
+from repro.core.types import Ask, Job
+from repro.tree.incentive_tree import ROOT
+
+__all__ = [
+    "AskSubmitted",
+    "ReferralEdge",
+    "Withdrawal",
+    "ServiceEvent",
+    "validate_event",
+    "event_to_dict",
+    "event_from_dict",
+]
+
+
+@dataclass(frozen=True)
+class AskSubmitted:
+    """User ``user_id`` joins and submits the sealed ask ``(t, k, a)``."""
+
+    tick: int
+    user_id: int
+    task_type: int
+    capacity: int
+    value: float
+
+    def ask(self) -> Ask:
+        """The core :class:`~repro.core.types.Ask` (validates on build)."""
+        return Ask(task_type=self.task_type, capacity=self.capacity, value=self.value)
+
+
+@dataclass(frozen=True)
+class ReferralEdge:
+    """``parent_id`` solicits ``child_id`` (tree edge, parent may be ROOT)."""
+
+    tick: int
+    parent_id: int
+    child_id: int
+
+
+@dataclass(frozen=True)
+class Withdrawal:
+    """User ``user_id`` leaves; their subtree is grafted onto their parent."""
+
+    tick: int
+    user_id: int
+
+
+ServiceEvent = Union[AskSubmitted, ReferralEdge, Withdrawal]
+
+_KINDS = {
+    AskSubmitted: "ask",
+    ReferralEdge: "referral",
+    Withdrawal: "withdrawal",
+}
+_BY_KIND = {kind: cls for cls, kind in _KINDS.items()}
+
+
+def validate_event(event: ServiceEvent, job: Job) -> Optional[str]:
+    """Structural-validity reason string, or None when the event is valid.
+
+    Checks only what can be decided without the cumulative state: the
+    tick is non-negative, ids are in range, and an ask parses into
+    :class:`repro.core.types.Ask` for a type the job actually requests.
+    """
+    if event.tick < 0:
+        return f"tick must be >= 0, got {event.tick}"
+    if isinstance(event, AskSubmitted):
+        if event.user_id < 0:
+            return f"user_id must be >= 0, got {event.user_id}"
+        if event.task_type >= job.num_types:
+            return (
+                f"task_type {event.task_type} out of range for a job with "
+                f"{job.num_types} types"
+            )
+        try:
+            event.ask()
+        except ModelError as err:
+            return str(err)
+        return None
+    if isinstance(event, ReferralEdge):
+        if event.child_id < 0:
+            return f"child_id must be >= 0, got {event.child_id}"
+        if event.parent_id < ROOT:
+            return f"parent_id must be >= {ROOT} (ROOT), got {event.parent_id}"
+        if event.parent_id == event.child_id:
+            return f"self-referral: {event.child_id}"
+        return None
+    if isinstance(event, Withdrawal):
+        if event.user_id < 0:
+            return f"user_id must be >= 0, got {event.user_id}"
+        return None
+    return f"unknown event type {type(event).__name__}"
+
+
+def event_to_dict(event: ServiceEvent) -> Dict[str, Any]:
+    """Flat JSON-serializable form with a ``kind`` discriminator."""
+    out: Dict[str, Any] = {"kind": _KINDS[type(event)]}
+    out.update(asdict(event))
+    return out
+
+
+def event_from_dict(data: Mapping[str, Any]) -> ServiceEvent:
+    """Inverse of :func:`event_to_dict`; raises ModelError on bad input."""
+    payload = dict(data)
+    kind = payload.pop("kind", None)
+    cls = _BY_KIND.get(str(kind))
+    if cls is None:
+        raise ModelError(f"unknown service event kind {kind!r}")
+    try:
+        return cls(**payload)
+    except TypeError as err:
+        raise ModelError(f"malformed {kind!r} event: {err}") from None

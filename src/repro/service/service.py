@@ -1,0 +1,269 @@
+"""The mechanism-as-a-service orchestrator.
+
+Wires the pieces together::
+
+    producer → IngestFrontend → EpochPipeline → run_epoch → OutcomeLedger
+               (bounded queue)   (admission +    (sharded     (JSONL)
+                                  batching)       workers)
+
+:class:`MechanismService` owns the consumer loop: it drains the frontend
+queue, feeds every event through the shared
+:class:`~repro.service.epochs.EpochPipeline`, and executes each closed
+epoch on the shard worker pool.  Epoch ``i`` always draws
+``epoch_seed(config.seed, i)`` — a pure function of two integers — so a
+fixed admitted stream yields a fixed sequence of outcomes no matter how
+producers, the event loop, or the thread pool interleave.
+
+The mechanism must be configured with ``rng_policy="per-type"``:
+that policy is what makes the sharded epoch equal the offline
+``RIT.run`` anchor (see :mod:`repro.service.replay`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.core.exceptions import ConfigurationError
+from repro.core.outcome import MechanismOutcome
+from repro.core.rit import RIT
+from repro.core.types import Job
+from repro.obs.tracer import NULL_TRACER, NullTracer
+from repro.service.epochs import (
+    EpochPipeline,
+    EpochPolicy,
+    EpochSnapshot,
+    epoch_seed,
+)
+from repro.service.events import ServiceEvent
+from repro.service.frontend import IngestFrontend
+from repro.service.ledger import OutcomeLedger
+from repro.service.workers import run_epoch
+
+__all__ = ["ServiceConfig", "EpochResult", "ServiceReport", "MechanismService"]
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tunables of one service run (all deterministic inputs)."""
+
+    seed: int = 0
+    queue_size: int = 1024
+    epoch_max_events: int = 256
+    epoch_max_ticks: Optional[int] = None
+    shard_workers: bool = True
+    max_workers: Optional[int] = None
+
+    def policy(self) -> EpochPolicy:
+        return EpochPolicy(
+            max_events=self.epoch_max_events, max_ticks=self.epoch_max_ticks
+        )
+
+
+@dataclass(frozen=True)
+class EpochResult:
+    """One executed epoch: the outcome plus serving-side measurements."""
+
+    index: int
+    batch_events: int
+    users: int
+    latency_seconds: float
+    outcome: MechanismOutcome
+
+
+@dataclass
+class ServiceReport:
+    """What one :meth:`MechanismService.serve` run did, end to end."""
+
+    epochs: List[EpochResult] = field(default_factory=list)
+    consumed: List[ServiceEvent] = field(default_factory=list)
+    applied: int = 0
+    refused: int = 0
+    refusal_reasons: Dict[str, int] = field(default_factory=dict)
+    offered: int = 0
+    accepted: int = 0
+    invalid: int = 0
+    rejected: int = 0
+    queue_highwater: int = 0
+
+    def outcomes(self) -> List[MechanismOutcome]:
+        return [epoch.outcome for epoch in self.epochs]
+
+
+class MechanismService:
+    """Online epoch-batched RIT serving over an ingestion stream."""
+
+    def __init__(
+        self,
+        mechanism: RIT,
+        job: Job,
+        config: Optional[ServiceConfig] = None,
+        *,
+        tracer: Optional[NullTracer] = None,
+        ledger: Optional[OutcomeLedger] = None,
+    ) -> None:
+        if mechanism.rng_policy != "per-type":
+            raise ConfigurationError(
+                "MechanismService requires rng_policy='per-type' (got "
+                f"{mechanism.rng_policy!r}); the per-type streams are what "
+                "make sharded epochs match the offline run"
+            )
+        self.config = config if config is not None else ServiceConfig()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.mechanism = mechanism.with_tracer(self.tracer)
+        self.job = job
+        self.ledger = ledger
+        self.frontend = IngestFrontend(
+            job, maxsize=self.config.queue_size, tracer=self.tracer
+        )
+
+    # ------------------------------------------------------------------ #
+    # Consumer loop
+    # ------------------------------------------------------------------ #
+
+    async def serve(self) -> ServiceReport:
+        """Drain the frontend until close; execute every closed epoch."""
+        tracer = self.tracer
+        tracing = tracer.enabled
+        clock = tracer.clock
+        config = self.config
+        report = ServiceReport()
+        pipeline = EpochPipeline(self.job, config.policy())
+        if self.ledger is not None:
+            self.ledger.write_meta(self._meta())
+        service_sid = -1
+        if tracing:
+            service_sid = tracer.begin(
+                "service",
+                seed=config.seed,
+                epoch_max_events=config.epoch_max_events,
+                epoch_max_ticks=config.epoch_max_ticks,
+                queue_size=config.queue_size,
+                shard_workers=config.shard_workers,
+            )
+        workers = config.max_workers or max(1, min(self.job.num_types, 8))
+        executor = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="rit-shard"
+        )
+        try:
+            async for event in self.frontend.events():
+                report.consumed.append(event)
+                refused, snapshots = pipeline.step(event)
+                if refused is None:
+                    report.applied += 1
+                    if tracing:
+                        tracer.count("service_events_applied")
+                else:
+                    report.refused += 1
+                    report.refusal_reasons[refused] = (
+                        report.refusal_reasons.get(refused, 0) + 1
+                    )
+                    if tracing:
+                        tracer.count("service_events_refused")
+                for snapshot in snapshots:
+                    await self._execute(snapshot, report, executor, clock)
+            tail = pipeline.finish()
+            if tail is not None:
+                await self._execute(tail, report, executor, clock)
+        finally:
+            executor.shutdown(wait=True)
+            if tracing:
+                tracer.end(service_sid)
+        report.offered = self.frontend.offered
+        report.accepted = self.frontend.accepted
+        report.invalid = self.frontend.invalid
+        report.rejected = self.frontend.rejected
+        report.queue_highwater = self.frontend.highwater
+        return report
+
+    async def _execute(
+        self,
+        snapshot: EpochSnapshot,
+        report: ServiceReport,
+        executor: ThreadPoolExecutor,
+        clock,
+    ) -> None:
+        t_start = clock()
+        outcome = await run_epoch(
+            self.mechanism,
+            self.job,
+            snapshot,
+            epoch_seed(self.config.seed, snapshot.batch.index),
+            executor=executor,
+            shard_workers=self.config.shard_workers,
+        )
+        latency = clock() - t_start
+        if self.ledger is not None:
+            self.ledger.append(snapshot.batch, outcome)
+        report.epochs.append(
+            EpochResult(
+                index=snapshot.batch.index,
+                batch_events=snapshot.batch.num_events,
+                users=len(snapshot.asks),
+                latency_seconds=latency,
+                outcome=outcome,
+            )
+        )
+
+    def _meta(self) -> Dict[str, object]:
+        return {
+            "seed": self.config.seed,
+            "queue_size": self.config.queue_size,
+            "epoch_max_events": self.config.epoch_max_events,
+            "epoch_max_ticks": self.config.epoch_max_ticks,
+            "shard_workers": self.config.shard_workers,
+            "engine": self.mechanism.engine,
+            "rng_policy": self.mechanism.rng_policy,
+            "round_budget": self.mechanism.round_budget,
+            "job_counts": list(self.job.counts),
+        }
+
+    # ------------------------------------------------------------------ #
+    # Producers and one-shot drivers
+    # ------------------------------------------------------------------ #
+
+    async def produce(
+        self,
+        events: Iterable[ServiceEvent],
+        *,
+        open_loop: bool = False,
+        yield_every: int = 64,
+    ) -> None:
+        """Feed a finite stream into the frontend, then close it.
+
+        Closed-loop (default) awaits queue space — nothing is dropped.
+        Open-loop offers at full speed and lets the frontend reject on
+        backpressure, yielding to the event loop every ``yield_every``
+        events so the consumer actually runs.
+        """
+        for position, event in enumerate(events):
+            if open_loop:
+                self.frontend.offer(event)
+                if position % yield_every == 0:
+                    await asyncio.sleep(0)
+            else:
+                await self.frontend.put(event)
+        await self.frontend.close()
+
+    def serve_stream(
+        self, events: Iterable[ServiceEvent], *, open_loop: bool = False
+    ) -> ServiceReport:
+        """Synchronous convenience: produce + serve one finite stream."""
+
+        async def _main() -> ServiceReport:
+            producer = asyncio.ensure_future(
+                self.produce(events, open_loop=open_loop)
+            )
+            try:
+                return await self.serve()
+            finally:
+                if not producer.done():
+                    producer.cancel()
+                try:
+                    await producer
+                except asyncio.CancelledError:
+                    pass
+
+        return asyncio.run(_main())

@@ -122,6 +122,25 @@ class ResultStore:
             return []
         return sorted(p.stem for p in directory.glob("*.json"))
 
+    def latest(self, experiment_id: str) -> ExperimentResult:
+        """The most recently written result for one experiment.
+
+        Recency is file modification time (ties broken by tag name, so the
+        answer is deterministic even when a test writes two tags within
+        one clock quantum).  Raises
+        :class:`~repro.core.exceptions.ConfigurationError` when the
+        experiment has no stored results — callers that want a soft probe
+        should check :meth:`tags` first.
+        """
+        directory = self.root / experiment_id
+        paths = sorted(directory.glob("*.json")) if directory.is_dir() else []
+        if not paths:
+            raise ConfigurationError(
+                f"no stored results for experiment {experiment_id!r} under {self.root}"
+            )
+        newest = max(paths, key=lambda p: (p.stat().st_mtime_ns, p.stem))
+        return ExperimentResult.load(newest)
+
     def experiments(self) -> List[str]:
         """All experiment ids with at least one stored result."""
         return sorted(

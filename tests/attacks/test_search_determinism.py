@@ -1,0 +1,44 @@
+"""Seed-determinism regression for the deviation search.
+
+``best_deviation`` drives many paired mechanism runs; a single unseeded
+draw anywhere in the chain would make two same-seed searches disagree.
+"""
+
+from repro.attacks.search import best_deviation
+from repro.core.rit import RIT
+from repro.core.types import Job
+from repro.workloads.scenarios import paper_scenario
+from repro.workloads.users import UserDistribution
+
+
+def run_search(seed=4):
+    job = Job.uniform(3, 8)
+    scenario = paper_scenario(
+        150, job, seed, distribution=UserDistribution(num_types=3)
+    )
+    mech = RIT(h=0.8, round_budget="until-complete")
+    asks = scenario.truthful_asks()
+    probe = mech.run(job, asks, scenario.tree, rng=seed)
+    victim = max(probe.auction_payments, key=probe.auction_payment_of)
+    user = scenario.population[victim]
+    return best_deviation(
+        mech,
+        job,
+        asks,
+        scenario.tree,
+        victim,
+        user.cost,
+        capacity=user.capacity,
+        reps=4,
+        rng=seed,
+    )
+
+
+def test_same_seed_identical_results():
+    first = run_search()
+    second = run_search()
+    got = [(c.kind, c.detail, c.gain) for c in first.candidates]
+    want = [(c.kind, c.detail, c.gain) for c in second.candidates]
+    assert got == want  # exact equality: same seed, same draws, same floats
+    assert first.best.kind == second.best.kind
+    assert first.best.gain == second.best.gain

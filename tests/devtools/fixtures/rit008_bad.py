@@ -1,0 +1,21 @@
+# rit: module=repro.service.fixture_blocking_bad
+"""RIT008 fixture: blocking calls on the service event loop."""
+
+import time
+from pathlib import Path
+from time import sleep
+
+
+async def drain(queue, ledger_path):
+    time.sleep(0.1)  # expect: RIT008
+    sleep(0.1)  # expect: RIT008
+    handle = open(ledger_path)  # expect: RIT008
+    text = Path(ledger_path).read_text()  # expect: RIT008
+    Path(ledger_path).write_text(text)  # expect: RIT008
+    return handle
+
+
+class Frontend:
+    async def close(self, path):
+        payload = Path(path).read_bytes()  # expect: RIT008
+        Path(path).write_bytes(payload)  # expect: RIT008

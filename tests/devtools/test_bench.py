@@ -68,6 +68,66 @@ class TestValidateSchema:
         assert any("unknown engine" in e for e in validate_bench_schema(doc))
 
 
+def valid_service_section():
+    return {
+        "config": {"users": 400, "seed": 0},
+        "events": {
+            "generated": 800,
+            "offered": 800,
+            "accepted": 780,
+            "invalid": 5,
+            "rejected": 15,
+            "applied": 770,
+            "refused": 10,
+        },
+        "events_per_sec": 50_000.0,
+        "elapsed_seconds": 0.016,
+        "epochs": {"count": 3, "completed": 2, "voided": 1},
+        "epoch_latency_seconds": {
+            "mean": 0.004,
+            "min": 0.001,
+            "p50": 0.003,
+            "p95": 0.009,
+            "max": 0.01,
+        },
+        "queue": {"capacity": 512, "highwater": 200},
+    }
+
+
+class TestValidateServiceSection:
+    def base_doc(self):
+        doc = run_scaling_bench(**TINY)
+        doc["service"] = valid_service_section()
+        return doc
+
+    def test_valid_section_accepted(self):
+        assert validate_bench_schema(self.base_doc()) == []
+
+    def test_docs_without_service_section_stay_valid(self):
+        assert validate_bench_schema(run_scaling_bench(**TINY)) == []
+
+    def test_unbalanced_event_counts_flagged(self):
+        doc = self.base_doc()
+        doc["service"]["events"]["rejected"] = 0  # silently dropped events
+        assert any("balance" in e for e in validate_bench_schema(doc))
+
+    def test_highwater_above_capacity_flagged(self):
+        doc = self.base_doc()
+        doc["service"]["queue"]["highwater"] = 9999
+        assert any("unbounded" in e for e in validate_bench_schema(doc))
+
+    def test_missing_latency_stat_flagged(self):
+        doc = self.base_doc()
+        del doc["service"]["epoch_latency_seconds"]["p95"]
+        errors = validate_bench_schema(doc)
+        assert any("p95" in e for e in errors)
+
+    def test_non_positive_throughput_flagged(self):
+        doc = self.base_doc()
+        doc["service"]["events_per_sec"] = 0.0
+        assert any("events_per_sec" in e for e in validate_bench_schema(doc))
+
+
 class TestCommittedBaseline:
     def test_committed_bench_json_is_valid(self):
         assert COMMITTED_BENCH.exists(), "BENCH_RIT.json must be committed"

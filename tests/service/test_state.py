@@ -1,0 +1,116 @@
+"""The cumulative state machine: admission rules and withdrawal grafting."""
+
+from repro.core.types import Job
+from repro.service.events import AskSubmitted, ReferralEdge, Withdrawal
+from repro.service.state import ServiceState
+from repro.tree.incentive_tree import ROOT
+
+JOB = Job([4, 3, 5])
+
+
+def ask(uid, tick=0, task_type=0):
+    return AskSubmitted(
+        tick=tick, user_id=uid, task_type=task_type, capacity=2, value=1.5
+    )
+
+
+class TestAskAdmission:
+    def test_spontaneous_join_attaches_to_root(self):
+        state = ServiceState(JOB)
+        assert state.apply(ask(0)) is None
+        assert state.snapshot_tree().to_parent_map()[0] == ROOT
+
+    def test_duplicate_ask_refused(self):
+        state = ServiceState(JOB)
+        state.apply(ask(0))
+        assert "already submitted" in state.apply(ask(0))
+        assert state.num_participants == 1
+
+    def test_referral_then_join_attaches_to_parent(self):
+        state = ServiceState(JOB)
+        state.apply(ask(0))
+        assert state.apply(ReferralEdge(tick=1, parent_id=0, child_id=1)) is None
+        assert state.apply(ask(1, tick=2)) is None
+        assert state.snapshot_tree().to_parent_map()[1] == 0
+
+
+class TestReferralAdmission:
+    def test_referral_after_join_refused(self):
+        state = ServiceState(JOB)
+        state.apply(ask(0))
+        state.apply(ask(1))
+        refused = state.apply(ReferralEdge(tick=1, parent_id=0, child_id=1))
+        assert "already joined" in refused
+
+    def test_duplicate_referrer_refused(self):
+        state = ServiceState(JOB)
+        state.apply(ask(0))
+        state.apply(ask(1))
+        state.apply(ReferralEdge(tick=1, parent_id=0, child_id=2))
+        refused = state.apply(ReferralEdge(tick=2, parent_id=1, child_id=2))
+        assert "already has a recorded referrer" in refused
+
+    def test_unjoined_referrer_refused_root_allowed(self):
+        state = ServiceState(JOB)
+        assert "has not joined" in state.apply(
+            ReferralEdge(tick=0, parent_id=9, child_id=1)
+        )
+        assert state.apply(ReferralEdge(tick=0, parent_id=ROOT, child_id=1)) is None
+
+
+class TestWithdrawal:
+    def test_withdraw_non_participant_refused(self):
+        state = ServiceState(JOB)
+        assert "not an active participant" in state.apply(
+            Withdrawal(tick=0, user_id=5)
+        )
+
+    def test_withdraw_grafts_joined_children_to_grandparent(self):
+        state = ServiceState(JOB)
+        state.apply(ask(0))
+        state.apply(ReferralEdge(tick=1, parent_id=0, child_id=1))
+        state.apply(ask(1, tick=2))
+        state.apply(ReferralEdge(tick=3, parent_id=1, child_id=2))
+        state.apply(ask(2, tick=4))
+        assert state.apply(Withdrawal(tick=5, user_id=1)) is None
+        parents = state.snapshot_tree().to_parent_map()
+        assert 1 not in parents
+        assert parents[2] == 0  # grafted past the withdrawn middle node
+        assert 1 not in state.snapshot_asks()
+
+    def test_withdraw_grafts_pending_referrals(self):
+        state = ServiceState(JOB)
+        state.apply(ask(0))
+        state.apply(ReferralEdge(tick=1, parent_id=0, child_id=1))
+        state.apply(ask(1, tick=2))
+        state.apply(ReferralEdge(tick=3, parent_id=1, child_id=2))
+        state.apply(Withdrawal(tick=4, user_id=1))
+        # user 2 never joined before the referrer withdrew; on join they
+        # attach to the withdrawn user's parent, not to a dangling id.
+        state.apply(ask(2, tick=5))
+        assert state.snapshot_tree().to_parent_map()[2] == 0
+
+    def test_withdraw_root_child_grafts_to_root(self):
+        state = ServiceState(JOB)
+        state.apply(ask(0))
+        state.apply(ReferralEdge(tick=1, parent_id=0, child_id=1))
+        state.apply(ask(1, tick=2))
+        state.apply(Withdrawal(tick=3, user_id=0))
+        assert state.snapshot_tree().to_parent_map()[1] == ROOT
+
+
+class TestSnapshots:
+    def test_snapshots_are_isolated_from_later_events(self):
+        state = ServiceState(JOB)
+        state.apply(ask(0))
+        asks_before = state.snapshot_asks()
+        tree_before = state.snapshot_tree()
+        state.apply(ask(1))
+        assert list(asks_before) == [0]
+        assert 1 not in tree_before.to_parent_map()
+
+    def test_admission_order_is_preserved(self):
+        state = ServiceState(JOB)
+        for uid in (5, 2, 9, 0):
+            state.apply(ask(uid))
+        assert list(state.snapshot_asks()) == [5, 2, 9, 0]

@@ -83,6 +83,34 @@ class TestResultStore:
         with pytest.raises(ConfigurationError):
             store.save(make_result([(1, 1.0)]), "../escape")
 
+    def test_latest_returns_most_recent_save(self, tmp_path):
+        import os
+
+        store = ResultStore(tmp_path)
+        old_path = store.save(make_result([(1, 1.0)]), "old")
+        store.save(make_result([(1, 2.0)]), "new")
+        # Force a strict mtime ordering regardless of clock resolution.
+        stat = old_path.stat()
+        os.utime(old_path, ns=(stat.st_atime_ns, stat.st_mtime_ns - 10_000_000))
+        loaded = store.latest("figX")
+        assert loaded.series[0].points[0].mean == 2.0
+
+    def test_latest_ties_break_on_tag(self, tmp_path):
+        import os
+
+        store = ResultStore(tmp_path)
+        path_a = store.save(make_result([(1, 1.0)]), "a")
+        path_b = store.save(make_result([(1, 2.0)]), "b")
+        stamp = path_a.stat().st_mtime_ns
+        os.utime(path_a, ns=(stamp, stamp))
+        os.utime(path_b, ns=(stamp, stamp))
+        loaded = store.latest("figX")
+        assert loaded.series[0].points[0].mean == 2.0
+
+    def test_latest_missing_experiment_raises(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            ResultStore(tmp_path).latest("figX")
+
     def test_check_regression(self, tmp_path):
         store = ResultStore(tmp_path)
         store.save(make_result([(1, 10.0)]), "baseline")

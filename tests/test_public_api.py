@@ -24,6 +24,7 @@ PACKAGES = [
     "repro.simulation",
     "repro.analysis",
     "repro.quality",
+    "repro.service",
 ]
 
 
