@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test lint typecheck check trace trace-smoke serve serve-smoke loadgen bench bench-pytest bench-json smoke paper report examples clean
+.PHONY: install test lint analyze typecheck check trace trace-smoke serve serve-smoke loadgen bench bench-pytest bench-json smoke paper report examples clean
 
 install:
 	pip install -e .
@@ -19,6 +19,13 @@ lint:
 	else \
 		echo "ruff not installed; skipping (pip install -e .[dev])"; \
 	fi
+
+# Whole-program determinism & concurrency analyzer (RIT009-RIT013),
+# gated strictly against the committed analysis_baseline.json.  Warm runs
+# re-parse only changed files (.rit_analysis_cache.json, git-ignored).
+# `rit analyze --bench` merges the measured section into BENCH_RIT.json.
+analyze:
+	PYTHONPATH=src $(PY) -m repro.devtools.analysis --ci
 
 typecheck:
 	@if $(PY) -c "import mypy" >/dev/null 2>&1; then \
@@ -52,9 +59,10 @@ serve-smoke:
 loadgen:
 	PYTHONPATH=src $(PY) -m repro loadgen
 
-# The full gate new PRs must pass: domain lint + types + tier-1 tests
-# + the trace schema smoke + the service differential smoke.
-check: lint typecheck test trace-smoke serve-smoke
+# The full gate new PRs must pass: domain lint + whole-program analysis
+# + types + tier-1 tests + the trace schema smoke + the service
+# differential smoke.
+check: lint analyze typecheck test trace-smoke serve-smoke
 
 # Fast perf baseline: times the scaling workload on both auction engines
 # and refreshes BENCH_RIT.json (the committed perf trajectory).

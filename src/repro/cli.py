@@ -26,6 +26,11 @@ Subcommands
                           ``BENCH_RIT.json``).
 ``rit lint``              run the AST-based domain linter over the tree
                           (also: ``python -m repro.devtools.lint``).
+``rit analyze``           run the whole-program determinism & concurrency
+                          analyzer (RIT009-RIT013) against the committed
+                          findings baseline (``--bench`` merges the
+                          ``analysis`` section into ``BENCH_RIT.json``;
+                          also: ``python -m repro.devtools.analysis``).
 """
 
 from __future__ import annotations
@@ -276,6 +281,15 @@ def build_parser() -> argparse.ArgumentParser:
     from repro.devtools.lint.cli import add_arguments as _add_lint_arguments
 
     _add_lint_arguments(p_lint)
+
+    p_analyze = sub.add_parser(
+        "analyze",
+        help="whole-program determinism & concurrency analyzer "
+        "(RIT009-RIT013, baseline-gated)",
+    )
+    from repro.devtools.analysis.cli import add_arguments as _add_analyze_arguments
+
+    _add_analyze_arguments(p_analyze)
 
     p_demo = sub.add_parser("demo", help="run one end-to-end scenario")
     p_demo.add_argument("--users", type=int, default=1000)
@@ -721,6 +735,12 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return run_lint(args)
 
 
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.devtools.analysis.cli import run as run_analyze
+
+    return run_analyze(args)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -735,6 +755,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "serve": _cmd_serve,
         "loadgen": _cmd_loadgen,
         "lint": _cmd_lint,
+        "analyze": _cmd_analyze,
     }
     return handlers[args.command](args)
 

@@ -143,7 +143,9 @@ class SortedTypePool:
             np.array([self._position_of(int(u)) for u in uids], dtype=np.int64)
         )
 
-    def consume_positions(self, positions: np.ndarray) -> None:
+    # Covered by the caller's per-stage timers ('consume'); a span per
+    # round-level batch would swamp the event log.
+    def consume_positions(self, positions: np.ndarray) -> None:  # rit: noqa[RIT013]
         """Consume one unit per entry of ``positions`` (original-order index).
 
         Batched equivalent of calling :meth:`consume` per winner: one
@@ -196,7 +198,8 @@ class SortedTypePool:
         k = int(np.searchsorted(self._sorted_values, value, side="right"))
         return self._fenwick.prefix(k)
 
-    def smallest_units(
+    # Covered by the caller's per-stage timers ('select').
+    def smallest_units(  # rit: noqa[RIT013]
         self, count: int, bounds: np.ndarray
     ) -> Tuple[np.ndarray, np.ndarray]:
         """The ``count`` cheapest alive units, as the reference selects them.

@@ -171,7 +171,9 @@ def _tree_payments_impl(
     return dict(zip(order, final.tolist()))
 
 
-def tree_payments_naive(
+# Differential-test reference, never on the serving path; the production
+# tree_payments carries the span.
+def tree_payments_naive(  # rit: noqa[RIT013]
     tree: IncentiveTree,
     auction_payments: Mapping[int, float],
     task_types: Mapping[int, TaskType],

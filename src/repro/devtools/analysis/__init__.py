@@ -1,0 +1,47 @@
+"""Whole-program determinism & concurrency analyzer (``rit analyze``).
+
+Where ``rit lint`` judges one file at a time, this package parses the
+whole of ``src/repro`` once, links every module's summary into an import
+graph and a conservative name-resolution call graph, and runs
+interprocedural dataflow passes:
+
+========  ============================================================
+RIT009    blocking call reachable from a service coroutine
+RIT010    ambient RNG taint flowing into mechanism entry points
+RIT011    shared mutable module state reachable from shard workers
+RIT012    monetary results compared exactly across module boundaries
+RIT013    uninstrumented public hot-path functions
+========  ============================================================
+
+Layered bottom-up:
+
+``summary``   per-file extraction into serializable module summaries
+``program``   linking: alias resolution, call edges, reachability
+``passes``    the five whole-program rules over a linked program
+``cache``     content-hash incremental summary cache
+``baseline``  accepted-findings fingerprints for brownfield adoption
+``report``    text / JSON / SARIF reporters
+``runner``    one-call orchestration (:func:`analyze_paths`)
+``cli``       the ``rit analyze`` front-end
+"""
+
+from repro.devtools.analysis.baseline import BASELINE_FILENAME, Baseline
+from repro.devtools.analysis.cache import CACHE_FILENAME, SummaryCache
+from repro.devtools.analysis.passes import ANALYSIS_RULES, run_passes
+from repro.devtools.analysis.program import Program
+from repro.devtools.analysis.runner import AnalysisResult, analyze_paths
+from repro.devtools.analysis.summary import ModuleSummary, build_module_summary
+
+__all__ = [
+    "ANALYSIS_RULES",
+    "AnalysisResult",
+    "BASELINE_FILENAME",
+    "Baseline",
+    "CACHE_FILENAME",
+    "ModuleSummary",
+    "Program",
+    "SummaryCache",
+    "analyze_paths",
+    "build_module_summary",
+    "run_passes",
+]

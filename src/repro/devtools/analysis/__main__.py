@@ -1,0 +1,8 @@
+"""Entry point: ``python -m repro.devtools.analysis``."""
+
+import sys
+
+from repro.devtools.analysis.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,126 @@
+"""Committed findings baseline for ``rit analyze``.
+
+Whole-program rules land on a codebase that already exists, so the
+analyzer separates *new* debt from *known* debt: every finding is reduced
+to a stable fingerprint (relative path + rule + message, hashed), and the
+committed baseline file records the multiset of fingerprints the team has
+accepted.  A run then fails only on findings whose fingerprint is not in
+the baseline — and, under ``--ci``, also when the baseline lists
+fingerprints that no longer occur (stale entries must be garbage-collected
+with ``--baseline-update`` so the file stays minimal).
+
+Line numbers are deliberately *not* part of the fingerprint: inserting a
+docstring above known debt must not break CI.  Two identical findings in
+one file (same rule, same message) are disambiguated by count.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from repro.devtools.lint.model import Finding
+
+__all__ = [
+    "BASELINE_FILENAME",
+    "BASELINE_SCHEMA_VERSION",
+    "Baseline",
+    "BaselineDiff",
+    "fingerprint",
+]
+
+BASELINE_FILENAME = "analysis_baseline.json"
+BASELINE_SCHEMA_VERSION = 1
+
+
+def _relpath(path: str, root: Path) -> str:
+    try:
+        return Path(path).resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return Path(path).as_posix()
+
+
+def fingerprint(finding: Finding, root: Path) -> str:
+    """Stable identity of a finding: relpath + rule + message, hashed."""
+    basis = f"{_relpath(finding.path, root)}\x00{finding.rule_id}\x00{finding.message}"
+    return hashlib.sha256(basis.encode("utf-8")).hexdigest()[:20]
+
+
+@dataclass
+class BaselineDiff:
+    """Result of checking a run against a baseline."""
+
+    new: List[Finding] = field(default_factory=list)
+    stale: List[Dict[str, object]] = field(default_factory=list)
+    known: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.new and not self.stale
+
+
+@dataclass
+class Baseline:
+    """The accepted-findings multiset, as stored in the committed file."""
+
+    #: fingerprint -> {"count": int, "rule": str, "path": str, "message": str}
+    entries: Dict[str, Dict[str, object]] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Read a committed baseline; missing file = empty baseline."""
+        if not path.is_file():
+            return cls()
+        doc = json.loads(path.read_text(encoding="utf-8"))
+        if doc.get("schema") != BASELINE_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported baseline schema {doc.get('schema')!r} in {path}"
+            )
+        return cls(entries=dict(doc.get("findings", {})))
+
+    @classmethod
+    def from_findings(cls, findings: Sequence[Finding], root: Path) -> "Baseline":
+        entries: Dict[str, Dict[str, object]] = {}
+        for finding in findings:
+            fp = fingerprint(finding, root)
+            entry = entries.setdefault(
+                fp,
+                {
+                    "count": 0,
+                    "rule": finding.rule_id,
+                    "path": _relpath(finding.path, root),
+                    "message": finding.message,
+                },
+            )
+            entry["count"] = int(entry["count"]) + 1
+        return cls(entries=entries)
+
+    def write(self, path: Path) -> None:
+        doc = {
+            "schema": BASELINE_SCHEMA_VERSION,
+            "findings": {fp: self.entries[fp] for fp in sorted(self.entries)},
+        }
+        path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n",
+                        encoding="utf-8")
+
+    def diff(self, findings: Sequence[Finding], root: Path) -> BaselineDiff:
+        """Split a run's findings into new / known, and spot stale entries."""
+        remaining = {fp: int(e["count"]) for fp, e in self.entries.items()}
+        diff = BaselineDiff()
+        for finding in sorted(findings, key=lambda f: f.sort_key):
+            fp = fingerprint(finding, root)
+            if remaining.get(fp, 0) > 0:
+                remaining[fp] -= 1
+                diff.known += 1
+            else:
+                diff.new.append(finding)
+        for fp, count in sorted(remaining.items()):
+            if count > 0:
+                entry = dict(self.entries[fp])
+                entry["fingerprint"] = fp
+                entry["stale_count"] = count
+                diff.stale.append(entry)
+        return diff

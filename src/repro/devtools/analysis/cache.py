@@ -1,0 +1,104 @@
+"""Incremental summary cache keyed by file content hash.
+
+Parsing and extraction dominate analyzer wall time; the interprocedural
+passes over the (small) summaries are cheap.  So the cache stores one
+serialized :class:`ModuleSummary` per file, keyed by the sha256 of the
+file's bytes: a warm run re-parses only files whose content changed and
+deserializes the rest.  Linking and the passes always run fresh — a
+summary is per-file truth, reachability is not.
+
+The cache file (default ``.rit_analysis_cache.json``, git-ignored) is a
+single JSON document::
+
+    {"schema": 1, "entries": {"<relpath>": {"sha256": "...", "summary": {...}}}}
+
+A schema mismatch (bumped :data:`SUMMARY_SCHEMA_VERSION`) or any parse
+problem discards the cache wholesale — it is a pure accelerator, never a
+source of truth.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+from repro.devtools.analysis.summary import (
+    SUMMARY_SCHEMA_VERSION,
+    ModuleSummary,
+    summarize_context,
+)
+from repro.devtools.lint.context import build_context
+
+__all__ = ["CACHE_FILENAME", "SummaryCache", "content_hash"]
+
+CACHE_FILENAME = ".rit_analysis_cache.json"
+
+
+def content_hash(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+@dataclass
+class SummaryCache:
+    """Load-once / save-once summary cache with hit accounting."""
+
+    path: Optional[Path] = None
+    entries: Dict[str, Dict[str, object]] = field(default_factory=dict)
+    hits: int = 0
+    misses: int = 0
+
+    @classmethod
+    def load(cls, path: Optional[Path]) -> "SummaryCache":
+        cache = cls(path=path)
+        if path is None or not path.is_file():
+            return cache
+        try:
+            doc = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return cache
+        if not isinstance(doc, dict) or doc.get("schema") != SUMMARY_SCHEMA_VERSION:
+            return cache
+        entries = doc.get("entries")
+        if isinstance(entries, dict):
+            cache.entries = entries
+        return cache
+
+    def save(self) -> None:
+        if self.path is None:
+            return
+        doc = {"schema": SUMMARY_SCHEMA_VERSION, "entries": self.entries}
+        self.path.write_text(json.dumps(doc, sort_keys=True), encoding="utf-8")
+
+    def summarize(self, path: Path, key: str) -> Tuple[ModuleSummary, bool]:
+        """Summary for ``path`` (cache key ``key``), plus cache-hit flag.
+
+        Raises :class:`SyntaxError` for unparsable files — the caller
+        turns that into an RIT000 finding; nothing is cached for them.
+        """
+        data = path.read_bytes()
+        digest = content_hash(data)
+        entry = self.entries.get(key)
+        if entry is not None and entry.get("sha256") == digest:
+            try:
+                summary = ModuleSummary.from_dict(entry["summary"])  # type: ignore[arg-type]
+            except (KeyError, TypeError, ValueError):
+                pass
+            else:
+                self.hits += 1
+                return summary, True
+        source = data.decode("utf-8")
+        ctx = build_context(path, source=source)
+        summary = summarize_context(ctx)
+        self.entries[key] = {"sha256": digest, "summary": summary.to_dict()}
+        self.misses += 1
+        return summary, False
+
+    def prune(self, live_keys) -> None:
+        """Drop entries for files that no longer exist in the analyzed set."""
+        live = set(live_keys)
+        for key in list(self.entries):
+            if key not in live:
+                del self.entries[key]

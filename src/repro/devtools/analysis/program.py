@@ -1,0 +1,285 @@
+"""Whole-program linking: summaries → call graph → reachability.
+
+A :class:`Program` holds every :class:`ModuleSummary` of one analysis run
+and resolves the call targets recorded at extraction time into concrete
+function qualnames:
+
+* dotted targets are canonicalized through package re-export chains
+  (``repro.core.RIT`` → ``repro.core.rit.RIT`` via the names imported by
+  ``repro/core/__init__.py``);
+* a resolved *class* target becomes an edge to its ``__init__``;
+* unresolved method calls (``?.run_type_shard``) fall back to a
+  unique-method lookup: if at most two classes in the program define a
+  method with that (non-generic) name, edges go to all of them.
+
+Resolution is deliberately conservative — a missing edge means a pass
+stays quiet, never that it invents a finding — with one documented
+exception: the unique-method fallback can over-approximate when an
+out-of-program object happens to share a distinctive method name.
+
+On top of the edges, :meth:`Program.reachable` runs a BFS that keeps
+parent pointers, so every pass can print the *call chain* that makes a
+finding interprocedural (``serve -> _flush -> write_text``).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.devtools.analysis.summary import CallSite, FunctionInfo, ModuleSummary
+
+__all__ = ["Program", "Reached"]
+
+#: Method names too generic for the unique-method fallback — an edge
+#: guessed from one of these would mostly be noise.
+_GENERIC_METHODS = frozenset(
+    {
+        "get",
+        "set",
+        "add",
+        "put",
+        "pop",
+        "append",
+        "extend",
+        "insert",
+        "remove",
+        "update",
+        "clear",
+        "copy",
+        "keys",
+        "values",
+        "items",
+        "open",
+        "close",
+        "read",
+        "write",
+        "send",
+        "recv",
+        "join",
+        "split",
+        "strip",
+        "format",
+        "encode",
+        "decode",
+        "start",
+        "stop",
+        "run",
+        "reset",
+        "sort",
+        "sorted",
+        "count",
+        "index",
+        "name",
+        "exists",
+        "resolve",
+        "mkdir",
+        "is_dir",
+        "is_file",
+        "to_dict",
+        "from_dict",
+    }
+)
+
+#: Cap on how many same-named methods the fallback may target at once.
+_FALLBACK_LIMIT = 2
+
+
+class Reached:
+    """One function reached by a BFS: its parent edge and originating root."""
+
+    __slots__ = ("qualname", "parent", "site", "root", "depth")
+
+    def __init__(
+        self,
+        qualname: str,
+        parent: Optional[str],
+        site: Optional[CallSite],
+        root: str,
+        depth: int,
+    ) -> None:
+        self.qualname = qualname
+        self.parent = parent
+        self.site = site
+        self.root = root
+        self.depth = depth
+
+
+class Program:
+    """All module summaries of a run, linked into one call graph."""
+
+    def __init__(self, summaries: Iterable[ModuleSummary]) -> None:
+        self.modules: Dict[str, ModuleSummary] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.function_module: Dict[str, str] = {}
+        self.classes: Set[str] = set()
+        self._methods_by_name: Dict[str, List[str]] = {}
+        self._edge_cache: Dict[str, List[Tuple[str, CallSite]]] = {}
+        self._tracer_closure: Optional[Set[str]] = None
+        for summary in summaries:
+            self.add(summary)
+
+    def add(self, summary: ModuleSummary) -> None:
+        self.modules[summary.module] = summary
+        self.classes.update(summary.classes)
+        for info in summary.functions:
+            self.functions[info.qualname] = info
+            self.function_module[info.qualname] = summary.module
+            if info.is_method and not info.name.startswith("__"):
+                self._methods_by_name.setdefault(info.name, []).append(info.qualname)
+        self._edge_cache.clear()
+        self._tracer_closure = None
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    def summary_for(self, qualname: str) -> Optional[ModuleSummary]:
+        module = self.function_module.get(qualname)
+        return self.modules.get(module) if module is not None else None
+
+    def functions_in(self, *module_prefixes: str) -> List[FunctionInfo]:
+        out: List[FunctionInfo] = []
+        for module, summary in sorted(self.modules.items()):
+            if any(
+                module == prefix or module.startswith(prefix + ".")
+                for prefix in module_prefixes
+            ):
+                out.extend(summary.functions)
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Target resolution
+    # ------------------------------------------------------------------ #
+
+    def resolve_target(self, target: str) -> List[str]:
+        """Function qualnames a recorded call target may refer to."""
+        if target.startswith("?."):
+            return self._unique_method_fallback(target[2:])
+        if target.startswith("?"):
+            return []
+        resolved = self._canonical(target)
+        return [resolved] if resolved is not None else []
+
+    def _canonical(self, dotted: str) -> Optional[str]:
+        seen: Set[str] = set()
+        while dotted not in seen:
+            seen.add(dotted)
+            if dotted in self.functions:
+                return dotted
+            if dotted in self.classes:
+                init = f"{dotted}.__init__"
+                return init if init in self.functions else None
+            rewritten = self._follow_reexport(dotted)
+            if rewritten is None:
+                return None
+            dotted = rewritten
+        return None
+
+    def _follow_reexport(self, dotted: str) -> Optional[str]:
+        """Rewrite ``pkg.Name.rest`` using ``pkg``'s own imports."""
+        parts = dotted.split(".")
+        for cut in range(len(parts) - 1, 0, -1):
+            module = ".".join(parts[:cut])
+            summary = self.modules.get(module)
+            if summary is None:
+                continue
+            head, rest = parts[cut], parts[cut + 1 :]
+            replacement = summary.import_names.get(head) or summary.import_modules.get(
+                head
+            )
+            if replacement is None:
+                return None
+            return ".".join([replacement] + rest)
+        return None
+
+    def _unique_method_fallback(self, method: str) -> List[str]:
+        if method in _GENERIC_METHODS or method.startswith("__"):
+            return []
+        candidates = self._methods_by_name.get(method, [])
+        if 0 < len(candidates) <= _FALLBACK_LIMIT:
+            return sorted(candidates)
+        return []
+
+    # ------------------------------------------------------------------ #
+    # Call graph
+    # ------------------------------------------------------------------ #
+
+    def edges(self, qualname: str) -> List[Tuple[str, CallSite]]:
+        """Resolved (callee qualname, call site) pairs of one function."""
+        cached = self._edge_cache.get(qualname)
+        if cached is not None:
+            return cached
+        info = self.functions.get(qualname)
+        out: List[Tuple[str, CallSite]] = []
+        if info is not None:
+            for site in info.calls:
+                for callee in self.resolve_target(site.target):
+                    if callee != qualname:
+                        out.append((callee, site))
+        self._edge_cache[qualname] = out
+        return out
+
+    def reachable(self, roots: Sequence[str]) -> Dict[str, Reached]:
+        """BFS over call edges from ``roots``, keeping parent pointers.
+
+        Joint search: each function is visited once, attributed to the
+        first root that reaches it (roots are processed in the given
+        order, so earlier roots win ties at equal depth).
+        """
+        reached: Dict[str, Reached] = {}
+        queue: deque = deque()
+        for root in roots:
+            if root in self.functions and root not in reached:
+                reached[root] = Reached(root, None, None, root, 0)
+                queue.append(root)
+        while queue:
+            current = queue.popleft()
+            entry = reached[current]
+            for callee, site in self.edges(current):
+                if callee in reached:
+                    continue
+                reached[callee] = Reached(
+                    callee, current, site, entry.root, entry.depth + 1
+                )
+                queue.append(callee)
+        return reached
+
+    @staticmethod
+    def chain(reached: Mapping[str, Reached], qualname: str) -> List[str]:
+        """Root-first qualname chain that reached ``qualname``."""
+        chain: List[str] = []
+        cursor: Optional[str] = qualname
+        while cursor is not None:
+            chain.append(cursor)
+            node = reached.get(cursor)
+            cursor = node.parent if node is not None else None
+        chain.reverse()
+        return chain
+
+    # ------------------------------------------------------------------ #
+    # Tracer closure (RIT013)
+    # ------------------------------------------------------------------ #
+
+    def tracer_closure(self) -> Set[str]:
+        """Functions that touch the tracer directly or via any callee."""
+        if self._tracer_closure is not None:
+            return self._tracer_closure
+        reverse: Dict[str, Set[str]] = {}
+        direct: List[str] = []
+        for qualname, info in self.functions.items():
+            if info.touches_tracer:
+                direct.append(qualname)
+            for callee, _site in self.edges(qualname):
+                reverse.setdefault(callee, set()).add(qualname)
+        closure: Set[str] = set()
+        queue: deque = deque(direct)
+        closure.update(direct)
+        while queue:
+            current = queue.popleft()
+            for caller in reverse.get(current, ()):
+                if caller not in closure:
+                    closure.add(caller)
+                    queue.append(caller)
+        self._tracer_closure = closure
+        return closure

@@ -1,0 +1,106 @@
+"""Orchestration: discover files, (re)summarize, link, run the passes.
+
+This is the programmatic entry point the CLI, the self-gate test and the
+benchmark harness all share.  One call to :func:`analyze_paths` is one
+analysis run:
+
+1. discover ``*.py`` files (shared exclusion logic with ``rit lint``);
+2. summarize each file — through the content-hash cache, so a warm run
+   only re-parses files whose bytes changed;
+3. link every summary into a :class:`Program`;
+4. run passes RIT009–RIT013 and collect findings (plus RIT000 parse
+   errors for files that do not parse).
+
+The result carries parse/cache accounting so callers can assert
+incrementality (tests) or report it (bench, CLI summary line).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, List, Optional
+
+from repro.devtools.analysis.cache import SummaryCache
+from repro.devtools.analysis.passes import run_passes
+from repro.devtools.analysis.program import Program
+from repro.devtools.analysis.summary import ModuleSummary
+from repro.devtools.discovery import iter_python_files
+from repro.devtools.lint.model import PARSE_ERROR_ID, Finding, Severity
+
+__all__ = ["AnalysisResult", "analyze_paths"]
+
+
+@dataclass
+class AnalysisResult:
+    """Everything one ``rit analyze`` run produced."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_analyzed: int = 0
+    #: Files actually parsed this run (== cache misses).
+    files_parsed: int = 0
+    cache_hits: int = 0
+    parse_errors: int = 0
+    duration_s: float = 0.0
+    program: Optional[Program] = None
+
+
+def _cache_key(path: Path, root: Path) -> str:
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.resolve().as_posix()
+
+
+def analyze_paths(
+    paths: Iterable[Path],
+    *,
+    root: Optional[Path] = None,
+    cache_path: Optional[Path] = None,
+) -> AnalysisResult:
+    """Run the whole-program analyzer over ``paths``.
+
+    ``root`` anchors cache keys and baseline fingerprints (default: cwd).
+    ``cache_path=None`` disables the incremental cache entirely.
+    """
+    anchor = (root or Path.cwd()).resolve()
+    started = time.perf_counter()
+    files = iter_python_files(paths)
+    cache = SummaryCache.load(cache_path)
+    summaries: List[ModuleSummary] = []
+    findings: List[Finding] = []
+    result = AnalysisResult()
+    keys: List[str] = []
+    for file_path in files:
+        key = _cache_key(file_path, anchor)
+        keys.append(key)
+        result.files_analyzed += 1
+        try:
+            summary, hit = cache.summarize(file_path, key)
+        except SyntaxError as exc:
+            result.files_parsed += 1
+            result.parse_errors += 1
+            findings.append(
+                Finding(
+                    path=str(file_path),
+                    line=exc.lineno or 1,
+                    column=(exc.offset or 1),
+                    rule_id=PARSE_ERROR_ID,
+                    message=f"file does not parse: {exc.msg}",
+                    severity=Severity.ERROR,
+                )
+            )
+            continue
+        if not hit:
+            result.files_parsed += 1
+        summaries.append(summary)
+    cache.prune(keys)
+    cache.save()
+    result.cache_hits = cache.hits
+    program = Program(summaries)
+    findings.extend(run_passes(program))
+    result.findings = sorted(findings, key=lambda f: f.sort_key)
+    result.program = program
+    result.duration_s = time.perf_counter() - started
+    return result

@@ -289,6 +289,8 @@ def validate_bench_schema(doc: Any) -> List[str]:
                     )
     if "service" in doc:
         errors.extend(_validate_service_section(doc["service"]))
+    if "analysis" in doc:
+        errors.extend(_validate_analysis_section(doc["analysis"]))
     return errors
 
 
@@ -359,4 +361,55 @@ def _validate_service_section(section: Any) -> List[str]:
             )
     if not isinstance(section.get("config"), dict):
         errors.append("service.config is not an object")
+    return errors
+
+
+def _validate_analysis_section(section: Any) -> List[str]:
+    """Schema of the optional ``analysis`` section (``rit analyze --bench``).
+
+    The section records the whole-program analyzer's shape and cost on
+    this tree: how many files it covers, what it found per rule, and the
+    cold vs warm-cache wall time.  ``warm_files_parsed`` must be zero —
+    a warm rerun over an unchanged tree that re-parses anything means the
+    incremental cache regressed, which is exactly what the committed
+    document is meant to catch.
+    """
+    errors: List[str] = []
+    if not isinstance(section, dict):
+        return ["analysis is not an object"]
+    files = section.get("files_analyzed")
+    if not isinstance(files, int) or isinstance(files, bool) or files <= 0:
+        errors.append("analysis.files_analyzed must be a positive int")
+    total = section.get("findings_total")
+    if not isinstance(total, int) or isinstance(total, bool) or total < 0:
+        errors.append("analysis.findings_total must be a non-negative int")
+    by_rule = section.get("findings_by_rule")
+    if not isinstance(by_rule, dict):
+        errors.append("analysis.findings_by_rule is not an object")
+    else:
+        for rule_id, count in by_rule.items():
+            if not (rule_id.startswith("RIT") and rule_id[3:].isdigit()):
+                errors.append(
+                    f"analysis.findings_by_rule.{rule_id}: not a RIT rule id"
+                )
+            if not isinstance(count, int) or isinstance(count, bool) or count <= 0:
+                errors.append(
+                    f"analysis.findings_by_rule.{rule_id} must be a positive int"
+                )
+        if isinstance(total, int) and sum(
+            c for c in by_rule.values() if isinstance(c, int)
+        ) != total:
+            errors.append(
+                "analysis.findings_by_rule must sum to findings_total"
+            )
+    for key in ("cold_seconds", "warm_cache_seconds"):
+        value = section.get(key)
+        if not isinstance(value, float) or value < 0.0:
+            errors.append(f"analysis.{key} must be a non-negative float")
+    parsed = section.get("warm_files_parsed")
+    if not isinstance(parsed, int) or isinstance(parsed, bool) or parsed != 0:
+        errors.append(
+            "analysis.warm_files_parsed must be 0 — the incremental cache "
+            "re-parsed files on a warm run over an unchanged tree"
+        )
     return errors

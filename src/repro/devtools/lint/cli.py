@@ -14,6 +14,7 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
+from repro.devtools.discovery import GitError, git_changed_files, iter_python_files
 from repro.devtools.lint.engine import lint_paths
 from repro.devtools.lint.rules import ALL_RULES, resolve_rules
 
@@ -60,6 +61,18 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="describe the registered rules and exit",
     )
+    parser.add_argument(
+        "--changed",
+        action="store_true",
+        help="lint only files that differ from the git base ref "
+        "(committed, staged, working-tree, or untracked changes)",
+    )
+    parser.add_argument(
+        "--base-ref",
+        default="main",
+        metavar="REF",
+        help="git ref --changed diffs against (default: main)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -102,6 +115,20 @@ def run(args: argparse.Namespace) -> int:
         print("rit lint: no paths given and no default directories found",
               file=sys.stderr)
         return 2
+    if getattr(args, "changed", False):
+        try:
+            lintable = {
+                p.resolve() for p in iter_python_files(Path(p) for p in paths)
+            }
+            paths = [
+                p for p in git_changed_files(args.base_ref) if p in lintable
+            ]
+        except (GitError, FileNotFoundError) as exc:
+            print(f"rit lint: --changed failed: {exc}", file=sys.stderr)
+            return 2
+        if not paths:
+            print(f"clean: 0 file(s) changed vs {args.base_ref!r}")
+            return 0
     try:
         report = lint_paths(paths, rules)
     except FileNotFoundError as exc:

@@ -12,67 +12,34 @@ fixture tests exercise deliberately-broken snippets.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Iterable, Iterator, List, Optional, Sequence
+from typing import Iterable, List, Optional, Sequence
 
+from repro.devtools.discovery import EXCLUDED_DIR_NAMES, iter_python_files
 from repro.devtools.lint.context import FileContext, build_context
-from repro.devtools.lint.model import PARSE_ERROR_ID, Finding, LintReport, Severity
+from repro.devtools.lint.model import (
+    DIRECTIVE_ID,
+    PARSE_ERROR_ID,
+    Finding,
+    LintReport,
+    Severity,
+)
 from repro.devtools.lint.rules import ALL_RULES, Rule
 
 __all__ = ["EXCLUDED_DIR_NAMES", "iter_python_files", "lint_file", "lint_source", "lint_paths"]
 
-#: Directory names never descended into during discovery.
-EXCLUDED_DIR_NAMES = frozenset(
-    {
-        "__pycache__",
-        ".git",
-        ".hypothesis",
-        ".pytest_cache",
-        ".mypy_cache",
-        ".ruff_cache",
-        "build",
-        "dist",
-        "fixtures",
-        "node_modules",
-        ".venv",
-    }
-)
-
-
-def _excluded(relative_parts: Sequence[str]) -> bool:
-    return any(
-        part in EXCLUDED_DIR_NAMES or part.endswith(".egg-info")
-        for part in relative_parts
-    )
-
-
-def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
-    """Yield every lintable ``.py`` file under ``paths``, deduplicated.
-
-    Explicit file arguments bypass the exclusion list; directories are
-    walked recursively with excluded directories pruned.
-    """
-    seen = set()
-    for path in paths:
-        path = Path(path)
-        if path.is_file():
-            resolved = path.resolve()
-            if resolved not in seen:
-                seen.add(resolved)
-                yield path
-        elif path.is_dir():
-            for candidate in sorted(path.rglob("*.py")):
-                if _excluded(candidate.relative_to(path).parts[:-1]):
-                    continue
-                resolved = candidate.resolve()
-                if resolved not in seen:
-                    seen.add(resolved)
-                    yield candidate
-        else:
-            raise FileNotFoundError(f"no such file or directory: {path}")
-
 
 def _run_rules(ctx: FileContext, rules: Sequence[Rule]) -> List[Finding]:
-    findings: List[Finding] = []
+    findings: List[Finding] = [
+        Finding(
+            path=ctx.path,
+            line=line,
+            column=1,
+            rule_id=DIRECTIVE_ID,
+            message=message,
+            severity=Severity.WARNING,
+        )
+        for line, message in ctx.directive_problems
+    ]
     for rule in rules:
         if not rule.applies(ctx):
             continue

@@ -13,10 +13,14 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Dict, Iterable, Iterator, List, Tuple
 
-__all__ = ["Severity", "Finding", "LintReport", "PARSE_ERROR_ID"]
+__all__ = ["Severity", "Finding", "LintReport", "PARSE_ERROR_ID", "DIRECTIVE_ID"]
 
 #: Pseudo-rule id attached to findings for files the engine cannot parse.
 PARSE_ERROR_ID = "RIT000"
+
+#: Pseudo-rule id attached to malformed in-source directives (e.g. a
+#: noqa with an empty bracket rule list, which suppresses nothing).
+DIRECTIVE_ID = "RIT099"
 
 
 class Severity(Enum):

@@ -21,22 +21,28 @@ from repro.devtools.lint.imports import ImportMap
 from repro.devtools.lint.model import Finding
 from repro.devtools.lint.rules.base import Rule
 
-__all__ = ["AsyncBlockingCalls"]
+__all__ = ["AsyncBlockingCalls", "BLOCKING_CALLS", "BLOCKING_METHODS"]
 
 #: Resolved dotted names (or the bare builtin) that block the thread.
-_BANNED_CALLS = {
+#: Shared with the whole-program analyzer's RIT009 (which looks for these
+#: *reachable from* a coroutine, not just lexically inside one).
+BLOCKING_CALLS = {
     "time.sleep": "use 'await asyncio.sleep(...)' instead",
     "io.open": "run file I/O in the worker pool via loop.run_in_executor",
     "open": "run file I/O in the worker pool via loop.run_in_executor",
 }
 
 #: Method names that perform synchronous file I/O (Path.read_text etc.).
-_BANNED_METHODS = {
+BLOCKING_METHODS = {
     "read_text": "synchronous file read",
     "write_text": "synchronous file write",
     "read_bytes": "synchronous file read",
     "write_bytes": "synchronous file write",
 }
+
+# Historical private names (pre-analyzer call sites).
+_BANNED_CALLS = BLOCKING_CALLS
+_BANNED_METHODS = BLOCKING_METHODS
 
 
 class AsyncBlockingCalls(Rule):

@@ -186,7 +186,10 @@ class EpochPipeline:
         self.state = ServiceState(job)
         self.accumulator = BatchAccumulator(policy)
 
-    def step(
+    # Instrumented by its sole caller: MechanismService.serve wraps the
+    # consumer loop in the 'service' span and counts applied/refused per
+    # event; a span per event here would dwarf the payload it measures.
+    def step(  # rit: noqa[RIT013]
         self, event: ServiceEvent
     ) -> Tuple[Optional[str], List[EpochSnapshot]]:
         """Process one event; returns (refusal reason or None, snapshots)."""

@@ -131,8 +131,6 @@ class MechanismService:
         config = self.config
         report = ServiceReport()
         pipeline = EpochPipeline(self.job, config.policy())
-        if self.ledger is not None:
-            self.ledger.write_meta(self._meta())
         service_sid = -1
         if tracing:
             service_sid = tracer.begin(
@@ -148,6 +146,12 @@ class MechanismService:
             max_workers=workers, thread_name_prefix="rit-shard"
         )
         try:
+            if self.ledger is not None:
+                # Ledger writes are synchronous file I/O: keep them off the
+                # event loop (RIT009) by dispatching to the worker pool.
+                await asyncio.get_running_loop().run_in_executor(
+                    executor, self.ledger.write_meta, self._meta()
+                )
             async for event in self.frontend.events():
                 report.consumed.append(event)
                 refused, snapshots = pipeline.step(event)
@@ -196,7 +200,9 @@ class MechanismService:
         )
         latency = clock() - t_start
         if self.ledger is not None:
-            self.ledger.append(snapshot.batch, outcome)
+            await asyncio.get_running_loop().run_in_executor(
+                executor, self.ledger.append, snapshot.batch, outcome
+            )
         report.epochs.append(
             EpochResult(
                 index=snapshot.batch.index,

@@ -1,0 +1,8 @@
+# rit: module=repro.service.fx9svc
+"""RIT009 fixture: a service coroutine calling a blocking helper module."""
+
+from repro.fx9util import flush_log
+
+
+async def serve_epochs() -> None:
+    flush_log("epoch closed")

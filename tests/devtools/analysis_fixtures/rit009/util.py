@@ -1,0 +1,14 @@
+# rit: module=repro.fx9util
+"""RIT009 fixture: sync helper that blocks — fine alone, fatal on the loop."""
+
+import time
+
+
+def flush_log(message: str) -> None:
+    time.sleep(0.01)  # expect: RIT009
+    _ = message
+
+
+def unrelated_sleeper() -> None:
+    # Not reachable from any coroutine: must NOT be reported.
+    time.sleep(0.01)

@@ -1,0 +1,8 @@
+# rit: module=repro.core.fx10entry
+"""RIT010 fixture: a mechanism entry point pulling in tainted noise."""
+
+from repro.fx10noise import jitter
+
+
+def run_mechanism(asks):
+    return [a + jitter() for a in asks]

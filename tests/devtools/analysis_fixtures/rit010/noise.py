@@ -1,0 +1,15 @@
+# rit: module=repro.fx10noise
+"""RIT010 fixture: ambient RNG hidden one module away from the entry point."""
+
+import numpy as np
+
+
+def jitter() -> float:
+    rng = np.random.default_rng()  # expect: RIT010
+    return float(rng.normal())
+
+
+def seeded_jitter(seed: int) -> float:
+    # Seeded construction: must NOT be reported.
+    rng = np.random.default_rng(seed)
+    return float(rng.normal())

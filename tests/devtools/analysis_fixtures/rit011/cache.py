@@ -1,0 +1,14 @@
+# rit: module=repro.fx11cache
+"""RIT011 fixture: unowned module-level mutables touched from workers."""
+
+_RESULTS = {}
+SEEN_TYPES = []  # rit: owner=main-thread
+
+
+def record_result(type_id, total):
+    _RESULTS[type_id] = total  # expect: RIT011
+    SEEN_TYPES.append(type_id)  # owned: must NOT be reported
+
+
+def summary():
+    return dict(_RESULTS), list(SEEN_TYPES)

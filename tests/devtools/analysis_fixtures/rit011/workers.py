@@ -1,0 +1,8 @@
+# rit: module=repro.service.workers
+"""RIT011 fixture: the shard-worker entry calling into shared module state."""
+
+from repro.fx11cache import record_result
+
+
+def run_epoch_shard(shard):
+    record_result(shard.type_id, shard.total)

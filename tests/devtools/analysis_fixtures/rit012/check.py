@@ -1,0 +1,12 @@
+# rit: module=repro.fx12check
+"""RIT012 fixture: exact equality on a cross-module monetary result."""
+
+from repro.fx12quotes import headcount, settle
+
+
+def audit(asks, expected):
+    return settle(asks) == expected  # expect: RIT012
+
+
+def tally(asks, expected):
+    return headcount(asks) == expected  # non-monetary: must NOT be reported

@@ -1,0 +1,12 @@
+# rit: module=repro.fx12quotes
+"""RIT012 fixture: a neutrally-named function that returns money."""
+
+
+def settle(asks):
+    payment = min(asks)
+    return payment
+
+
+def headcount(asks):
+    # Returns a count, not money: comparing it exactly is fine.
+    return len(asks)

@@ -1,0 +1,30 @@
+# rit: module=repro.core.engine
+"""RIT013 fixture: one bare hot-path function, one instrumented one."""
+
+
+def select_winners(asks, capacity):  # expect: RIT013
+    winners = []
+    total = 0
+    rejected = 0
+    for uid in asks:
+        if total >= capacity:
+            rejected += 1
+            continue
+        winners.append(uid)
+        total += 1
+    return winners, rejected
+
+
+def clear_round(asks, capacity, tracer):
+    # Reaches a tracer span: must NOT be reported.
+    winners = []
+    total = 0
+    rejected = 0
+    with tracer.span("clear_round"):
+        for uid in asks:
+            if total >= capacity:
+                rejected += 1
+                continue
+            winners.append(uid)
+            total += 1
+    return winners, rejected

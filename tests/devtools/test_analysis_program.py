@@ -1,0 +1,189 @@
+"""Unit tests for the extraction and linking layers of ``rit analyze``.
+
+These drive :func:`summary_from_source` + :class:`Program` directly on
+in-memory sources, pinning the resolution semantics everything else rests
+on: re-export chains, ``self.``-method calls, the unique-method fallback,
+money-return inference, tracer closure, and summary round-tripping
+through the cache's dict form.
+"""
+
+from repro.devtools.analysis.program import Program
+from repro.devtools.analysis.summary import ModuleSummary, summary_from_source
+
+
+def _program(*module_sources):
+    return Program(
+        summary_from_source(module, source) for module, source in module_sources
+    )
+
+
+class TestResolution:
+    def test_reexport_chain_resolves_through_package_init(self):
+        program = _program(
+            ("repro.core", "from repro.core.rit import RIT\n"),
+            (
+                "repro.core.rit",
+                "class RIT:\n"
+                "    def __init__(self):\n"
+                "        self.h = 0.8\n",
+            ),
+            (
+                "repro.app",
+                "from repro.core import RIT\n"
+                "def build():\n"
+                "    return RIT()\n",
+            ),
+        )
+        edges = program.edges("repro.app.build")
+        assert [callee for callee, _ in edges] == ["repro.core.rit.RIT.__init__"]
+
+    def test_self_method_call_resolves_within_class(self):
+        program = _program(
+            (
+                "repro.m",
+                "class Pipeline:\n"
+                "    def outer(self):\n"
+                "        return self.inner()\n"
+                "    def inner(self):\n"
+                "        return 1\n",
+            )
+        )
+        edges = program.edges("repro.m.Pipeline.outer")
+        assert [callee for callee, _ in edges] == ["repro.m.Pipeline.inner"]
+
+    def test_unique_method_fallback_resolves_distinctive_names(self):
+        program = _program(
+            (
+                "repro.mech",
+                "class RIT:\n"
+                "    def run_type_shard(self, shard):\n"
+                "        return shard\n",
+            ),
+            (
+                "repro.caller",
+                "def dispatch(mechanism, shard):\n"
+                "    return mechanism.run_type_shard(shard)\n",
+            ),
+        )
+        edges = program.edges("repro.caller.dispatch")
+        assert [callee for callee, _ in edges] == ["repro.mech.RIT.run_type_shard"]
+
+    def test_generic_method_names_produce_no_edges(self):
+        program = _program(
+            (
+                "repro.a",
+                "class Box:\n"
+                "    def get(self):\n"
+                "        return 1\n",
+            ),
+            (
+                "repro.b",
+                "def f(box):\n"
+                "    return box.get()\n",
+            ),
+        )
+        assert program.edges("repro.b.f") == []
+
+    def test_local_name_shadows_module_def(self):
+        program = _program(
+            (
+                "repro.shadow",
+                "def helper():\n"
+                "    return 1\n"
+                "def f(helper):\n"
+                "    return helper()\n",
+            )
+        )
+        assert program.edges("repro.shadow.f") == []
+
+
+class TestReachability:
+    def test_chain_reconstruction(self):
+        program = _program(
+            (
+                "repro.chainmod",
+                "def a():\n"
+                "    return b()\n"
+                "def b():\n"
+                "    return c()\n"
+                "def c():\n"
+                "    return 1\n",
+            )
+        )
+        reached = program.reachable(["repro.chainmod.a"])
+        assert Program.chain(reached, "repro.chainmod.c") == [
+            "repro.chainmod.a",
+            "repro.chainmod.b",
+            "repro.chainmod.c",
+        ]
+        assert reached["repro.chainmod.c"].depth == 2
+
+    def test_recursion_terminates(self):
+        program = _program(
+            (
+                "repro.rec",
+                "def a():\n"
+                "    return b()\n"
+                "def b():\n"
+                "    return a()\n",
+            )
+        )
+        reached = program.reachable(["repro.rec.a"])
+        assert set(reached) == {"repro.rec.a", "repro.rec.b"}
+
+
+class TestInference:
+    def test_money_return_inferred_from_local_name(self):
+        program = _program(
+            (
+                "repro.q",
+                "def settle(asks):\n"
+                "    payment = min(asks)\n"
+                "    return payment\n",
+            )
+        )
+        assert program.functions["repro.q.settle"].returns_money
+
+    def test_count_return_is_not_money(self):
+        program = _program(
+            (
+                "repro.q",
+                "def headcount(asks):\n"
+                "    total = len(asks)\n"
+                "    return total\n",
+            )
+        )
+        assert not program.functions["repro.q.headcount"].returns_money
+
+    def test_tracer_closure_is_transitive(self):
+        program = _program(
+            (
+                "repro.t",
+                "def outer():\n"
+                "    return inner()\n"
+                "def inner(tracer=None):\n"
+                "    with tracer.span('x'):\n"
+                "        return 1\n"
+                "def bare():\n"
+                "    return 2\n",
+            )
+        )
+        closure = program.tracer_closure()
+        assert "repro.t.inner" in closure
+        assert "repro.t.outer" in closure
+        assert "repro.t.bare" not in closure
+
+
+def test_summary_round_trips_through_dict():
+    summary = summary_from_source(
+        "repro.rt",
+        "import time\n"
+        "CACHE = {}\n"
+        "def f(x):  # rit: noqa[RIT009]\n"
+        "    time.sleep(x)\n"
+        "    CACHE[x] = x\n",
+    )
+    restored = ModuleSummary.from_dict(summary.to_dict())
+    assert restored == summary
+    assert restored.is_suppressed(3, "RIT009")
+    assert not restored.is_suppressed(4, "RIT009")

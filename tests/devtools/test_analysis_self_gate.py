@@ -1,0 +1,54 @@
+"""The analyzer gates its own repository: live ``src/repro`` must match
+the committed baseline exactly.
+
+Like the linter's self-gate, this is the tripwire the subsystem exists
+for: a PR that introduces a reachable blocking call, RNG taint, unowned
+shared state, a cross-module money ``==`` or an uninstrumented hot-path
+function fails here — and a PR that *fixes* accepted debt without
+refreshing the baseline fails too (the stale check), so the committed
+file can only shrink honestly.
+"""
+
+from pathlib import Path
+
+from repro.devtools.analysis import Baseline, analyze_paths
+from repro.devtools.analysis.baseline import BASELINE_FILENAME
+
+REPO = Path(__file__).resolve().parent.parent.parent
+
+
+def _live_result():
+    return analyze_paths([REPO / "src" / "repro"], root=REPO, cache_path=None)
+
+
+def test_live_tree_matches_committed_baseline_exactly():
+    result = _live_result()
+    assert result.files_analyzed > 100  # the walk really covered the tree
+    assert result.parse_errors == 0
+    baseline = Baseline.load(REPO / BASELINE_FILENAME)
+    diff = baseline.diff(result.findings, REPO)
+    problems = [f"new: {f.format()}" for f in diff.new] + [
+        f"stale: {e['rule']} {e['path']} x{e['stale_count']}" for e in diff.stale
+    ]
+    assert diff.clean, "rit analyze drifted from the baseline:\n" + "\n".join(
+        problems
+    )
+
+
+def test_committed_baseline_is_minimal():
+    """Accepted debt must stay at zero: fix findings or justify a noqa
+    at the site instead of parking them in the baseline."""
+    baseline = Baseline.load(REPO / BASELINE_FILENAME)
+    assert baseline.entries == {}
+
+
+def test_call_graph_is_nontrivial():
+    """Linking really resolves cross-module edges on the live tree."""
+    result = _live_result()
+    program = result.program
+    edges = sum(len(program.edges(q)) for q in program.functions)
+    assert edges > 500
+    # A known cross-module chain: the service serve loop reaches the
+    # shard-worker dispatch in another module.
+    reached = program.reachable(["repro.service.service.MechanismService.serve"])
+    assert "repro.service.workers.run_epoch" in reached

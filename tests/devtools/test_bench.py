@@ -128,6 +128,53 @@ class TestValidateServiceSection:
         assert any("events_per_sec" in e for e in validate_bench_schema(doc))
 
 
+def valid_analysis_section():
+    return {
+        "files_analyzed": 115,
+        "findings_total": 1,
+        "findings_by_rule": {"RIT013": 1},
+        "cold_seconds": 0.8,
+        "warm_cache_seconds": 0.2,
+        "warm_files_parsed": 0,
+    }
+
+
+class TestValidateAnalysisSection:
+    def base_doc(self):
+        doc = run_scaling_bench(**TINY)
+        doc["analysis"] = valid_analysis_section()
+        return doc
+
+    def test_valid_section_accepted(self):
+        assert validate_bench_schema(self.base_doc()) == []
+
+    def test_warm_reparse_flagged(self):
+        # The cache contract: a warm run over an unchanged tree parses
+        # nothing, and the committed bench doc proves it.
+        doc = self.base_doc()
+        doc["analysis"]["warm_files_parsed"] = 3
+        assert any(
+            "warm_files_parsed" in e for e in validate_bench_schema(doc)
+        )
+
+    def test_rule_counts_must_sum_to_total(self):
+        doc = self.base_doc()
+        doc["analysis"]["findings_total"] = 7
+        assert any("sum" in e for e in validate_bench_schema(doc))
+
+    def test_non_rit_rule_key_flagged(self):
+        doc = self.base_doc()
+        doc["analysis"]["findings_by_rule"] = {"E501": 1}
+        assert any("not a RIT rule id" in e for e in validate_bench_schema(doc))
+
+    def test_negative_timing_flagged(self):
+        doc = self.base_doc()
+        doc["analysis"]["warm_cache_seconds"] = -1.0
+        assert any(
+            "warm_cache_seconds" in e for e in validate_bench_schema(doc)
+        )
+
+
 class TestCommittedBaseline:
     def test_committed_bench_json_is_valid(self):
         assert COMMITTED_BENCH.exists(), "BENCH_RIT.json must be committed"
@@ -137,6 +184,12 @@ class TestCommittedBaseline:
         assert doc["speedup_vs_pre_pr"] >= 2.0
         assert doc["config"]["users"] == 2000
         assert doc["config"]["scenario_seed"] == 2
+
+    def test_committed_bench_has_analysis_section(self):
+        doc = json.loads(COMMITTED_BENCH.read_text())
+        analysis = doc["analysis"]
+        assert analysis["files_analyzed"] > 100
+        assert analysis["warm_files_parsed"] == 0
 
 
 class TestCLI:

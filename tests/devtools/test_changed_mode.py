@@ -1,0 +1,125 @@
+"""``rit lint --changed``: lint only what differs from a git base ref.
+
+Builds a throwaway git repository per test so the selection logic
+(committed + working-tree + untracked, intersected with lintable
+discovery) is exercised against real ``git diff`` output rather than
+mocks.  Skipped when git is unavailable in the environment.
+"""
+
+import shutil
+import subprocess
+
+import pytest
+
+from repro.devtools.discovery import GitError, git_changed_files
+from repro.devtools.lint.cli import main as lint_main
+
+pytestmark = pytest.mark.skipif(
+    shutil.which("git") is None, reason="git not installed"
+)
+
+CLEAN = "VALUE = 1\n"
+DIRTY = (
+    "# rit: module=repro.core.changed_probe\n"
+    "import numpy as np\n"
+    "a = np.random.default_rng()\n"
+)
+
+
+def _git(repo, *argv):
+    subprocess.run(
+        ["git", *argv],
+        cwd=repo,
+        check=True,
+        capture_output=True,
+        env={
+            "GIT_AUTHOR_NAME": "t",
+            "GIT_AUTHOR_EMAIL": "t@t",
+            "GIT_COMMITTER_NAME": "t",
+            "GIT_COMMITTER_EMAIL": "t@t",
+            "HOME": str(repo),
+            "PATH": "/usr/bin:/bin:/usr/local/bin",
+        },
+    )
+
+
+@pytest.fixture
+def repo(tmp_path, monkeypatch):
+    _git(tmp_path, "init", "-q", "-b", "main")
+    (tmp_path / "base.py").write_text(CLEAN)
+    (tmp_path / "other.py").write_text(CLEAN)
+    _git(tmp_path, "add", ".")
+    _git(tmp_path, "commit", "-q", "-m", "seed")
+    monkeypatch.chdir(tmp_path)
+    return tmp_path
+
+
+class TestGitChangedFiles:
+    def test_clean_tree_reports_nothing(self, repo):
+        assert git_changed_files("main", cwd=repo) == []
+
+    def test_working_tree_edit_is_reported(self, repo):
+        (repo / "base.py").write_text(CLEAN + "OTHER = 2\n")
+        changed = git_changed_files("main", cwd=repo)
+        assert [p.name for p in changed] == ["base.py"]
+
+    def test_untracked_file_is_reported(self, repo):
+        (repo / "fresh.py").write_text(CLEAN)
+        changed = git_changed_files("main", cwd=repo)
+        assert [p.name for p in changed] == ["fresh.py"]
+
+    def test_committed_change_on_branch_is_reported(self, repo):
+        _git(repo, "checkout", "-q", "-b", "feature")
+        (repo / "other.py").write_text(CLEAN + "MORE = 3\n")
+        _git(repo, "add", ".")
+        _git(repo, "commit", "-q", "-m", "edit")
+        changed = git_changed_files("main", cwd=repo)
+        assert [p.name for p in changed] == ["other.py"]
+
+    def test_deleted_file_is_not_reported(self, repo):
+        (repo / "other.py").unlink()
+        assert git_changed_files("main", cwd=repo) == []
+
+    def test_bad_ref_raises(self, repo):
+        with pytest.raises(GitError):
+            git_changed_files("no-such-ref", cwd=repo)
+
+
+class TestLintChanged:
+    def test_no_changes_exits_zero(self, repo, capsys):
+        assert lint_main(["--changed", str(repo)]) == 0
+        assert "0 file(s) changed" in capsys.readouterr().out
+
+    def test_changed_clean_file_exits_zero(self, repo, capsys):
+        (repo / "base.py").write_text(CLEAN + "OTHER = 2\n")
+        assert lint_main(["--changed", str(repo)]) == 0
+        assert "1 file(s) checked" in capsys.readouterr().out
+
+    def test_changed_dirty_file_exits_one(self, repo, capsys):
+        (repo / "base.py").write_text(DIRTY)
+        assert lint_main(["--changed", str(repo)]) == 1
+        out = capsys.readouterr().out
+        assert "RIT001" in out
+
+    def test_unchanged_dirty_file_is_not_linted(self, repo, capsys):
+        # other.py is dirty but committed on the base ref: --changed must
+        # skip it, a plain run must flag it.
+        (repo / "other.py").write_text(DIRTY)
+        _git(repo, "add", ".")
+        _git(repo, "commit", "-q", "-m", "dirty on main")
+        assert lint_main(["--changed", str(repo)]) == 0
+        assert lint_main([str(repo)]) == 1
+        capsys.readouterr()
+
+    def test_base_ref_is_configurable(self, repo, capsys):
+        _git(repo, "checkout", "-q", "-b", "feature")
+        (repo / "base.py").write_text(DIRTY)
+        _git(repo, "add", ".")
+        _git(repo, "commit", "-q", "-m", "dirty on feature")
+        assert lint_main(["--changed", "--base-ref", "feature", str(repo)]) == 0
+        assert lint_main(["--changed", "--base-ref", "main", str(repo)]) == 1
+        capsys.readouterr()
+
+    def test_bad_base_ref_exits_two(self, repo, capsys):
+        assert lint_main(["--changed", "--base-ref", "nope", str(repo)]) == 2
+        assert "--changed failed" in capsys.readouterr().err

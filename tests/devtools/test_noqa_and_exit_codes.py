@@ -59,6 +59,60 @@ class TestNoqa:
         assert [(f.line, f.rule_id) for f in findings] == [(4, "RIT001")]
 
 
+class TestNoqaStatementSpan:
+    """A noqa anywhere on a multi-line statement covers the whole span."""
+
+    MULTILINE = (
+        "# rit: module=repro.core.noqa_span\n"
+        "import numpy as np\n"
+        "values = np.cumsum({noqa_first}\n"
+        "    np.random.default_rng().random(8){noqa_mid}\n"
+        ")\n"
+    )
+
+    def test_finding_on_continuation_line_is_reported_without_noqa(self):
+        source = self.MULTILINE.format(noqa_first="", noqa_mid="")
+        assert [f.line for f in lint_source(source)] == [4]
+
+    def test_noqa_on_first_line_covers_the_continuation(self):
+        source = self.MULTILINE.format(
+            noqa_first="  # rit: noqa[RIT001]", noqa_mid=""
+        )
+        assert _rules(source) == []
+
+    def test_noqa_on_inner_line_also_covers_the_statement(self):
+        source = self.MULTILINE.format(
+            noqa_first="", noqa_mid="  # rit: noqa[RIT001]"
+        )
+        assert _rules(source) == []
+
+    def test_def_header_noqa_does_not_silence_the_body(self):
+        source = (
+            "# rit: module=repro.core.noqa_hdr\n"
+            "import numpy as np\n"
+            "def f():  # rit: noqa[RIT001]\n"
+            "    return np.random.default_rng()\n"
+        )
+        assert _rules(source) == ["RIT001"]
+
+
+class TestEmptyNoqaWarns:
+    # The directive is assembled from two fragments so this test file's
+    # own raw lines never contain an empty-bracket noqa themselves.
+    EMPTY = (
+        "# rit: module=repro.core.noqa_empty\n"
+        "import numpy as np\n"
+        "a = np.random.default_rng()  # rit: " + "noqa[]\n"
+    )
+
+    def test_empty_rule_list_suppresses_nothing_and_warns(self):
+        findings = lint_source(self.EMPTY)
+        assert sorted(f.rule_id for f in findings) == ["RIT001", "RIT099"]
+        rit099 = next(f for f in findings if f.rule_id == "RIT099")
+        assert rit099.line == 3
+        assert "suppresses nothing" in rit099.message
+
+
 class TestExitCodes:
     def test_clean_tree_exits_zero(self, tmp_path, capsys):
         clean = tmp_path / "clean.py"
