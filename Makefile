@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test lint analyze typecheck check trace trace-smoke serve serve-smoke loadgen bench bench-pytest bench-json smoke paper report examples clean
+.PHONY: install test lint analyze typecheck check trace trace-smoke serve serve-smoke loadgen bench bench-smoke bench-pytest bench-json smoke paper report examples clean
 
 install:
 	pip install -e .
@@ -61,13 +61,19 @@ loadgen:
 
 # The full gate new PRs must pass: domain lint + whole-program analysis
 # + types + tier-1 tests + the trace schema smoke + the service
-# differential smoke.
-check: lint analyze typecheck test trace-smoke serve-smoke
+# differential smoke + the columnar bench schema smoke.
+check: lint analyze typecheck test trace-smoke serve-smoke bench-smoke
 
 # Fast perf baseline: times the scaling workload on both auction engines
 # and refreshes BENCH_RIT.json (the committed perf trajectory).
 bench:
 	PYTHONPATH=src $(PY) -m repro bench --out BENCH_RIT.json
+
+# CI gate (<10s): tiny sorted+columnar workload through `rit bench
+# --smoke`, schema-validated (skipped-engine markers, columnar store
+# fields) without touching the committed BENCH_RIT.json.
+bench-smoke:
+	PYTHONPATH=src $(PY) -m repro bench --smoke --out /tmp/rit_bench_smoke.json
 
 # Full pytest-benchmark sweep over benchmarks/.
 bench-pytest:

@@ -162,6 +162,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="workload seed (2 = the test_scaling.py hero workload)",
     )
     p_bench.add_argument(
+        "--engine", action="append",
+        choices=["sorted", "reference", "columnar"],
+        help="measure only these engines (repeatable); the rest are "
+        "recorded as skipped",
+    )
+    p_bench.add_argument(
+        "--scenario", action="append", choices=["100k", "1m"],
+        help="also run this scale preset into the 'scenarios' section "
+        "(repeatable)",
+    )
+    p_bench.add_argument(
+        "--smoke", action="store_true",
+        help="tiny columnar CI preset: run a small sorted+columnar "
+        "workload and schema-validate the document; nonzero exit on any "
+        "problem",
+    )
+    p_bench.add_argument(
         "--out", default="BENCH_RIT.json", help="output JSON path"
     )
 
@@ -224,7 +241,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="seeded fraction of joined users that withdraw",
     )
     p_serve.add_argument(
-        "--engine", choices=["sorted", "reference"], default="sorted"
+        "--engine", choices=["sorted", "reference", "columnar"],
+        default="sorted",
     )
     p_serve.add_argument(
         "--no-shard", action="store_true",
@@ -257,7 +275,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_load.add_argument("--queue", type=int, default=4096)
     p_load.add_argument("--withdraw-fraction", type=float, default=0.02)
     p_load.add_argument(
-        "--engine", choices=["sorted", "reference"], default="sorted"
+        "--engine", choices=["sorted", "reference", "columnar"],
+        default="sorted",
     )
     p_load.add_argument("--no-shard", action="store_true")
     p_load.add_argument(
@@ -471,18 +490,43 @@ def _cmd_audit(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    from repro.devtools.bench import run_scaling_bench, write_bench
-
-    result = run_scaling_bench(
-        users=args.users,
-        types=args.types,
-        tasks_per_type=args.tasks_per_type,
-        reps=args.reps,
-        seed=args.seed,
-        scenario_seed=args.scenario_seed,
+    from repro.devtools.bench import (
+        run_scaling_bench,
+        run_scenario_bench,
+        validate_bench_schema,
+        write_bench,
     )
+
+    if args.smoke:
+        result = run_scaling_bench(
+            users=300,
+            types=3,
+            tasks_per_type=10,
+            reps=2,
+            seed=args.seed,
+            scenario_seed=args.scenario_seed,
+            engines=("sorted", "columnar"),
+        )
+    else:
+        kwargs = dict(
+            users=args.users,
+            types=args.types,
+            tasks_per_type=args.tasks_per_type,
+            reps=args.reps,
+            seed=args.seed,
+            scenario_seed=args.scenario_seed,
+        )
+        if args.engine:
+            kwargs["engines"] = tuple(dict.fromkeys(args.engine))
+        result = run_scaling_bench(**kwargs)
+    for name in args.scenario or []:
+        print(f"scenario {name}: running …")
+        result.setdefault("scenarios", {})[name] = run_scenario_bench(name)
     write_bench(result, args.out)
     for engine, doc in result["engines"].items():
+        if doc.get("skipped"):
+            print(f"{engine:>9}: skipped")
+            continue
         seconds = doc["seconds"]
         print(
             f"{engine:>9}: p50 {seconds['p50'] * 1000:7.2f} ms  "
@@ -494,8 +538,27 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             "speedup sorted vs reference: "
             f"{result['speedup_sorted_vs_reference']:.2f}x"
         )
+    if "speedup_columnar_vs_sorted" in result:
+        print(
+            "speedup columnar vs sorted: "
+            f"{result['speedup_columnar_vs_sorted']:.2f}x"
+        )
     if "speedup_vs_pre_pr" in result:
         print(f"speedup vs pre-engine baseline: {result['speedup_vs_pre_pr']:.2f}x")
+    for name, sub in result.get("scenarios", {}).items():
+        if "speedup_columnar_vs_sorted" in sub:
+            print(
+                f"scenario {name}: columnar vs sorted "
+                f"{sub['speedup_columnar_vs_sorted']:.2f}x"
+            )
+    if args.smoke:
+        problems = validate_bench_schema(result)
+        if problems:
+            print(f"bench smoke FAILED ({len(problems)} problems):")
+            for problem in problems:
+                print(f"  {problem}")
+            return 1
+        print("bench smoke OK: columnar document is schema-valid")
     print(f"written -> {args.out}")
     return 0
 

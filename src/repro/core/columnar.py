@@ -1,0 +1,550 @@
+"""Columnar struct-of-arrays core: array kernels for the RIT hot stages.
+
+The per-user object model (:mod:`repro.core.types` dataclasses, dict-keyed
+tree nodes) prices every mechanism run at O(N) *Python* work — flattening
+the ask profile, re-validating it, re-sorting each type pool, walking the
+tree node by node for payments.  At the ROADMAP scale (millions of users
+per epoch) that Python floor dominates the actual auction math.
+
+:class:`ColumnarStore` moves all of it to construction time.  Built **once
+per epoch** from the existing ``Population``/``Ask`` objects, it holds the
+whole scenario as flat numpy arrays:
+
+========================  ============================================
+profile arrays            ``uids`` / ``types`` / ``values`` / ``caps``
+                          in profile (admission) order — the exact
+                          arrays :func:`repro.core.rit.profile_arrays`
+                          would produce;
+Extract kernel            one stable ``lexsort`` by ``(type, value)``
+                          plus per-type prefix-sum capacity cutoffs —
+                          Algorithm 2's per-user scan and the per-pool
+                          ``argsort`` are both precomputed, so a fresh
+                          per-run pool is just a capacity copy and a
+                          Fenwick build (:meth:`ColumnarStore.pool`);
+tree arrays               BFS-ordered CSR-style index arrays — node
+                          ids, parent positions, depths, level bounds,
+                          children offsets and subtree-size aggregates
+                          — replacing every dict-keyed tree traversal.
+========================  ============================================
+
+RNG-stream compatibility
+------------------------
+The CRA rounds of the columnar engine run :func:`repro.core.engine.
+cra_presorted` over pools the store materializes with
+:meth:`~repro.core.engine.SortedTypePool.from_presorted`.  The pools carry
+the *same* stable value order a per-run construction would compute, so
+every round consumes the bit-identical random stream of the ``"sorted"``
+engine (grid offset → one uniform per alive unit → the branch-for-branch
+keep/subsample draws).  Differential goldens and the property sweep in
+``tests/core`` enforce outcome equality seed by seed.
+
+Payments (:func:`tree_payments_columnar`) replicate the float operation
+sequence of :func:`repro.core.payments._tree_payments_impl` — scalar decay
+powers, level-by-level reverse-BFS ``np.add.at`` accumulation — over the
+precomputed index arrays, so final payments are bitwise equal while the
+per-run cost drops to pure array work.
+
+Ownership
+---------
+A store is **epoch-scoped and frozen**: every array is marked read-only at
+construction (``writeable=False``), the epoch pipeline builds it once
+before the shard fan-out, and worker threads only ever *read* it —
+per-round mutable state lives in the pools :meth:`ColumnarStore.pool`
+hands out, one per shard.  ``rit analyze`` (RIT011) recognises this
+``epoch`` ownership role for the store's arrays.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.core.engine import SortedTypePool
+from repro.core.exceptions import ModelError, TreeError
+from repro.core.extract import UnitAsks
+from repro.core.numeric import PAYMENT_ATOL
+from repro.core.types import Ask, Job, Population, TaskType
+from repro.obs.tracer import NullTracer
+from repro.tree.incentive_tree import ROOT, IncentiveTree
+
+__all__ = ["ColumnarStore", "tree_payments_columnar"]
+
+
+def _frozen(arr: np.ndarray) -> np.ndarray:
+    """Mark an epoch-scoped store array read-only (shared across shards)."""
+    arr.setflags(write=False)
+    return arr
+
+
+class _TypeBlock:
+    """Precomputed per-type slice of the store (the Extract kernel output).
+
+    Holds the profile slice for one task type together with its stable
+    value order — everything :meth:`ColumnarStore.pool` needs to hand a
+    shard a ready :class:`~repro.core.engine.SortedTypePool` without
+    re-sorting.
+    """
+
+    __slots__ = (
+        "uids",
+        "values",
+        "caps",
+        "sorted_users",
+        "sorted_values",
+        "rank",
+    )
+
+    def __init__(
+        self,
+        uids: np.ndarray,
+        values: np.ndarray,
+        caps: np.ndarray,
+        sorted_users: np.ndarray,
+    ) -> None:
+        self.uids = _frozen(uids)
+        self.values = _frozen(values)
+        self.caps = _frozen(caps)
+        self.sorted_users = _frozen(sorted_users)
+        self.sorted_values = _frozen(values[sorted_users])
+        rank = np.empty(sorted_users.shape[0], dtype=np.int64)
+        rank[sorted_users] = np.arange(sorted_users.shape[0])
+        self.rank = _frozen(rank)
+
+    @property
+    def nbytes(self) -> int:
+        return (
+            self.uids.nbytes
+            + self.values.nbytes
+            + self.caps.nbytes
+            + self.sorted_users.nbytes
+            + self.sorted_values.nbytes
+            + self.rank.nbytes
+        )
+
+
+class ColumnarStore:
+    """Frozen struct-of-arrays view of one epoch's asks and incentive tree.
+
+    Construct with :meth:`build` (from an ask profile) or
+    :meth:`from_population` (directly from a truthful population — same
+    store, no intermediate ``Ask`` objects).  Construction validates the
+    scenario exactly as :meth:`repro.core.rit.RIT._validate` does, then
+    precomputes every per-run quantity the mechanism needs; see the module
+    docstring for the layout.
+    """
+
+    __slots__ = (
+        "num_users",
+        "num_types",
+        "k_max",
+        "uids",
+        "types",
+        "values",
+        "caps",
+        "type_supply",
+        "_blocks",
+        "bfs_uids",
+        "bfs_types",
+        "bfs_parent",
+        "bfs_depth",
+        "level_bounds",
+        "child_start",
+        "child_index",
+        "subtree_sizes",
+        "payment_num_types",
+        "_bfs_order_list",
+        "_uid_order",
+        "_uid_sorted",
+    )
+
+    def __init__(
+        self,
+        job: Job,
+        uid_arr: np.ndarray,
+        type_arr: np.ndarray,
+        val_arr: np.ndarray,
+        cap_arr: np.ndarray,
+        tree: IncentiveTree,
+    ) -> None:
+        n = int(uid_arr.shape[0])
+        self.num_users = n
+        self.num_types = job.num_types
+        self._validate_profile(job, uid_arr, type_arr, tree)
+        self.uids = _frozen(np.ascontiguousarray(uid_arr, dtype=np.int64))
+        self.types = _frozen(np.ascontiguousarray(type_arr, dtype=np.int64))
+        self.values = _frozen(np.ascontiguousarray(val_arr, dtype=np.float64))
+        self.caps = _frozen(np.ascontiguousarray(cap_arr, dtype=np.int64))
+        self.k_max = int(self.caps.max()) if n else 0
+
+        # Extract kernel: one stable (type, value) lexsort and per-type
+        # prefix-sum capacity cutoffs replace Algorithm 2's per-user scan
+        # and the per-pool construction argsort.  ``lexsort`` is stable,
+        # so within each type block the order equals the per-type stable
+        # ``argsort(values)`` the sorted engine computes — the RNG-stream
+        # compatibility hinges on exactly this.
+        type_order = np.argsort(self.types, kind="stable")
+        vt_order = np.lexsort((self.values, self.types))
+        starts = np.searchsorted(
+            self.types[type_order], np.arange(self.num_types + 1)
+        )
+        supply = np.zeros(self.num_types, dtype=np.int64)
+        self._blocks: List[Optional[_TypeBlock]] = [None] * self.num_types
+        for tau in range(self.num_types):
+            lo, hi = int(starts[tau]), int(starts[tau + 1])
+            if lo == hi:
+                continue
+            sel = type_order[lo:hi]  # ascending profile positions
+            # Local stable value order: map the lexsorted profile
+            # positions back into the slice (``sel`` is sorted, so
+            # ``searchsorted`` inverts the selection exactly).
+            local_order = np.searchsorted(sel, vt_order[lo:hi])
+            block = _TypeBlock(
+                self.uids[sel], self.values[sel], self.caps[sel], local_order
+            )
+            self._blocks[tau] = block
+            supply[tau] = int(block.caps.sum())
+        self.type_supply = _frozen(supply)
+
+        self._init_tree_arrays(tree)
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+
+    # Construction is timed by the caller (bench's store_build_seconds,
+    # the service's epoch executor) and accounted by columnar_store_bytes.
+    @classmethod
+    def build(  # rit: noqa[RIT013]
+        cls, job: Job, asks: Mapping[int, Ask], tree: IncentiveTree
+    ) -> "ColumnarStore":
+        """Build the store from a sealed ask profile (profile order kept)."""
+        n = len(asks)
+        uid_arr = np.fromiter(asks.keys(), dtype=np.int64, count=n)
+        profile = list(asks.values())
+        type_arr = np.fromiter(
+            (a.task_type for a in profile), dtype=np.int64, count=n
+        )
+        val_arr = np.fromiter(
+            (a.value for a in profile), dtype=np.float64, count=n
+        )
+        cap_arr = np.fromiter(
+            (a.capacity for a in profile), dtype=np.int64, count=n
+        )
+        return cls(job, uid_arr, type_arr, val_arr, cap_arr, tree)
+
+    # Same accounting as build(): caller-timed, size on columnar_store_bytes.
+    @classmethod
+    def from_population(  # rit: noqa[RIT013]
+        cls, job: Job, population: Population, tree: IncentiveTree
+    ) -> "ColumnarStore":
+        """Build the truthful-profile store without materializing asks.
+
+        Equivalent to ``build(job, scenario.truthful_asks(), tree)`` but
+        the profile arrays are gathered by direct dense-id indexing
+        (:meth:`repro.core.types.Population.dense_ids`), skipping one
+        :class:`~repro.core.types.Ask` object per user.  The profile order
+        is the tree's node insertion order — exactly the order
+        ``Scenario.truthful_asks`` produces, so the store (and every RNG
+        draw downstream) is identical either way.
+        """
+        ids = population.dense_ids()
+        n = ids.shape[0]
+        users = population.users
+        type_by_id = np.fromiter(
+            (u.task_type for u in users), dtype=np.int64, count=n
+        )
+        cap_by_id = np.fromiter(
+            (u.capacity for u in users), dtype=np.int64, count=n
+        )
+        cost_by_id = np.fromiter(
+            (u.cost for u in users), dtype=np.float64, count=n
+        )
+        node_arr = np.fromiter(tree.nodes(), dtype=np.int64, count=len(tree))
+        if node_arr.size and (node_arr.min() < 0 or node_arr.max() >= n):
+            missing = sorted(
+                int(v) for v in node_arr[(node_arr < 0) | (node_arr >= n)][:5]
+            )
+            raise ModelError(
+                f"tree nodes without asks: {missing}… (every user submits an "
+                "ask upon joining)"
+            )
+        return cls(
+            job,
+            node_arr,
+            type_by_id[node_arr],
+            cost_by_id[node_arr],
+            cap_by_id[node_arr],
+            tree,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Validation (vectorized mirror of RIT._validate)
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _validate_profile(
+        job: Job,
+        uid_arr: np.ndarray,
+        type_arr: np.ndarray,
+        tree: IncentiveTree,
+    ) -> None:
+        tree_nodes = np.fromiter(tree.nodes(), dtype=np.int64, count=len(tree))
+        extra = np.setdiff1d(uid_arr, tree_nodes)
+        if extra.size:
+            missing = sorted(int(v) for v in extra[:5])
+            raise ModelError(
+                f"asks from participants not in the incentive tree: {missing}…"
+            )
+        orphaned = np.setdiff1d(tree_nodes, uid_arr)
+        if orphaned.size:
+            missing = sorted(int(v) for v in orphaned[:5])
+            raise ModelError(
+                f"tree nodes without asks: {missing}… (every user submits an "
+                "ask upon joining)"
+            )
+        num_types = job.num_types
+        bad = np.flatnonzero(type_arr >= num_types)
+        if bad.size:
+            first = int(bad[0])
+            raise ModelError(
+                f"user {int(uid_arr[first])} bids for type "
+                f"{int(type_arr[first])}, but the job has only "
+                f"{num_types} types"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Tree arrays (BFS order, CSR children, level bounds, aggregates)
+    # ------------------------------------------------------------------ #
+
+    def _init_tree_arrays(self, tree: IncentiveTree) -> None:
+        # BFS order must come from the tree itself: children order is
+        # insertion order *as rewritten by reattach* (withdrawal grafting,
+        # sybil rewires), so it cannot be re-derived from attach order.
+        order = tree.bfs_order()
+        n = len(order)
+        self._bfs_order_list = order
+        bfs_uids = np.fromiter(order, dtype=np.int64, count=n)
+        parent_of = tree.to_parent_map()
+        parent_ids = np.fromiter(
+            (parent_of[u] for u in order), dtype=np.int64, count=n
+        )
+        self.bfs_uids = _frozen(bfs_uids)
+        uid_order = np.argsort(bfs_uids, kind="stable")
+        uid_sorted = bfs_uids[uid_order]
+        self._uid_order = _frozen(uid_order)
+        self._uid_sorted = _frozen(uid_sorted)
+
+        if n:
+            is_root = parent_ids == ROOT
+            slot = np.searchsorted(uid_sorted, parent_ids)
+            parent_arr = np.where(
+                is_root, -1, uid_order[np.clip(slot, 0, n - 1)]
+            ).astype(np.int64)
+        else:
+            parent_arr = np.empty(0, dtype=np.int64)
+        # Same level-contiguity guard + bounds recovery as
+        # payments._tree_payments_impl — the kernels below assume both.
+        if n > 1 and bool(np.any(np.diff(parent_arr) < 0)):
+            raise TreeError("bfs order lost level contiguity")  # unreachable
+        level_bounds = [0]
+        while level_bounds[-1] < n:
+            prev_end = level_bounds[-1]
+            last_parent = -1 if prev_end == 0 else prev_end - 1
+            end = int(np.searchsorted(parent_arr, last_parent, side="right"))
+            if end <= prev_end:  # pragma: no cover - valid trees progress
+                raise TreeError("bfs order lost level contiguity")
+            level_bounds.append(end)
+        max_depth = len(level_bounds) - 1
+        depth_arr = np.empty(n, dtype=np.int64)
+        for d in range(1, max_depth + 1):
+            depth_arr[level_bounds[d - 1] : level_bounds[d]] = d
+        self.bfs_parent = _frozen(parent_arr)
+        self.bfs_depth = _frozen(depth_arr)
+        self.level_bounds = level_bounds
+
+        # Profile types gathered into BFS order (payments needs them).
+        if n:
+            prof_order = np.argsort(self.uids, kind="stable")
+            prof_slot = np.searchsorted(self.uids[prof_order], bfs_uids)
+            bfs_types = self.types[prof_order[prof_slot]]
+        else:
+            bfs_types = np.empty(0, dtype=np.int64)
+        self.bfs_types = _frozen(bfs_types)
+        self.payment_num_types = int(bfs_types.max()) + 1 if n else 0
+
+        # CSR children view: positions grouped by parent, offsets per node
+        # (root children — parent -1 — excluded from the offsets table).
+        child_order = np.argsort(parent_arr, kind="stable")
+        non_root = parent_arr[child_order] >= 0
+        child_index = child_order[non_root].astype(np.int64)
+        counts = np.bincount(
+            parent_arr[child_index], minlength=n
+        ) if n else np.empty(0, dtype=np.int64)
+        child_start = np.zeros(n + 1, dtype=np.int64)
+        if n:
+            np.cumsum(counts, out=child_start[1:])
+        self.child_start = _frozen(child_start)
+        self.child_index = _frozen(child_index)
+
+        # Subtree-size aggregates via one reverse level sweep (node + all
+        # descendants) — the store's structural summary column.
+        sizes = np.ones(n, dtype=np.int64)
+        for d in range(max_depth, 1, -1):
+            lo, hi = level_bounds[d - 1], level_bounds[d]
+            np.add.at(sizes, parent_arr[lo:hi], sizes[lo:hi])
+        self.subtree_sizes = _frozen(sizes)
+
+    # ------------------------------------------------------------------ #
+    # Kernels / views
+    # ------------------------------------------------------------------ #
+
+    def pool(self, tau: TaskType) -> Optional[SortedTypePool]:
+        """A fresh per-run auction pool for ``tau`` (None when no bidders).
+
+        The pool carries the precomputed stable value order, so per-run
+        work is one capacity copy plus a Fenwick build — no argsort.
+        """
+        block = self._blocks[tau]
+        if block is None:
+            return None
+        return SortedTypePool.from_presorted(
+            block.uids,
+            block.values,
+            block.caps,
+            block.sorted_users,
+            block.sorted_values,
+            block.rank,
+        )
+
+    def extract_units(self, tau: TaskType) -> UnitAsks:
+        """Vectorized Algorithm 2: the ``(α, λ)`` unit-ask vector for ``tau``.
+
+        Equal to :func:`repro.core.extract.extract` over the profile —
+        same values, same owners, same (profile) order — via ``np.repeat``
+        on the precomputed type slice.
+        """
+        block = self._blocks[tau]
+        if block is None:
+            empty_v = np.empty(0, dtype=np.float64)
+            empty_o = np.empty(0, dtype=np.int64)
+            return UnitAsks(task_type=tau, values=empty_v, owners=empty_o)
+        return UnitAsks(
+            task_type=tau,
+            values=np.repeat(block.values, block.caps),
+            owners=np.repeat(block.uids, block.caps),
+        )
+
+    def bfs_positions_of(self, uids: np.ndarray) -> np.ndarray:
+        """BFS-array positions of the given user ids (all must be nodes)."""
+        slot = np.searchsorted(self._uid_sorted, uids)
+        return self._uid_order[slot]
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes held by the store's arrays (the epoch footprint)."""
+        total = (
+            self.uids.nbytes
+            + self.types.nbytes
+            + self.values.nbytes
+            + self.caps.nbytes
+            + self.type_supply.nbytes
+            + self.bfs_uids.nbytes
+            + self.bfs_types.nbytes
+            + self.bfs_parent.nbytes
+            + self.bfs_depth.nbytes
+            + self.child_start.nbytes
+            + self.child_index.nbytes
+            + self.subtree_sizes.nbytes
+            + self._uid_order.nbytes
+            + self._uid_sorted.nbytes
+        )
+        for block in self._blocks:
+            if block is not None:
+                total += block.nbytes
+        return int(total)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ColumnarStore(users={self.num_users}, types={self.num_types}, "
+            f"bytes={self.nbytes})"
+        )
+
+
+def tree_payments_columnar(
+    store: ColumnarStore,
+    auction_payments: Mapping[int, float],
+    decay: float,
+    *,
+    tracer: Optional[NullTracer] = None,
+) -> Tuple[Dict[int, float], int]:
+    """Payment determination over the store's BFS/CSR index arrays.
+
+    Returns ``(kept, num_nodes)`` where ``kept`` holds exactly the
+    non-zero final payments (the post-prune dict
+    :meth:`repro.core.rit.RIT.join_shards` would build) and ``num_nodes``
+    is the tree size (for the pruning counters).  The float operation
+    sequence replicates :func:`repro.core.payments._tree_payments_impl`
+    step for step — scalar decay powers, per-level reverse-BFS
+    ``np.add.at`` pushes — so results are bitwise identical to
+    ``tree_payments`` followed by the ``is_zero`` prune.
+    """
+    if tracer is not None and tracer.enabled:
+        with tracer.span(
+            "payments", nodes=store.num_users, decay=decay
+        ):
+            tracer.count("tree_payment_nodes", store.num_users)
+            return _tree_payments_columnar_impl(store, auction_payments, decay)
+    return _tree_payments_columnar_impl(store, auction_payments, decay)
+
+
+def _tree_payments_columnar_impl(
+    store: ColumnarStore,
+    auction_payments: Mapping[int, float],
+    decay: float,
+) -> Tuple[Dict[int, float], int]:
+    if not 0.0 < decay < 1.0:
+        raise TreeError(f"decay must be in (0, 1), got {decay}")
+    n = store.num_users
+    if n == 0:
+        return {}, 0
+
+    pay_arr = np.zeros(n, dtype=np.float64)
+    if auction_payments:
+        m = len(auction_payments)
+        pay_uids = np.fromiter(auction_payments.keys(), dtype=np.int64, count=m)
+        pay_vals = np.fromiter(
+            auction_payments.values(), dtype=np.float64, count=m
+        )
+        pay_arr[store.bfs_positions_of(pay_uids)] = pay_vals
+
+    level_bounds = store.level_bounds
+    max_depth = len(level_bounds) - 1
+    types_arr = store.bfs_types
+    parent_arr = store.bfs_parent
+    decay_pow = np.array(
+        [decay ** d for d in range(max_depth + 1)], dtype=np.float64
+    )
+    contrib = decay_pow[store.bfs_depth] * pay_arr
+
+    sub = np.zeros((n, store.payment_num_types), dtype=np.float64)
+    for d in range(max_depth, 0, -1):
+        lo, hi = level_bounds[d - 1], level_bounds[d]
+        idx = np.arange(hi - 1, lo - 1, -1)
+        sub[idx, types_arr[idx]] += contrib[idx]
+        parents = parent_arr[idx]
+        push = parents >= 0
+        np.add.at(sub, parents[push], sub[idx[push]])
+
+    rows = np.arange(n)
+    referral = sub.sum(axis=1) - sub[rows, types_arr]
+    final = pay_arr + referral
+
+    # The vectorized ``is_zero`` prune of join_shards: keep |p| > atol,
+    # emitting the dict in BFS order exactly as the object path does.
+    keep = np.flatnonzero(np.abs(final) > PAYMENT_ATOL)
+    order = store._bfs_order_list
+    kept = {
+        order[i]: v for i, v in zip(keep.tolist(), final[keep].tolist())
+    }
+    return kept, n

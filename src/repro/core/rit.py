@@ -47,9 +47,18 @@ The multi-round CRA loop has two interchangeable engines (``engine=``):
   are surfaced on :attr:`MechanismOutcome.stage_timings`.
 * ``"reference"`` — re-materialize and re-sort the unit pool every round
   (the direct transcription of Algorithm 1).
+* ``"columnar"`` — the struct-of-arrays core of
+  :mod:`repro.core.columnar`: a frozen per-epoch
+  :class:`~repro.core.columnar.ColumnarStore` precomputes the profile
+  arrays, per-type stable sort orders and the BFS/CSR tree arrays, so a
+  run is pure array work — pools come from
+  :meth:`~repro.core.engine.SortedTypePool.from_presorted` and payments
+  from :func:`repro.core.columnar.tree_payments_columnar`.  Callers that
+  amortize across runs (the epoch service, ``rit bench``) build the store
+  once and pass it via ``run(..., columnar_store=...)``.
 
-Both consume the identical random stream and produce identical outcomes
-for the same seed; differential tests enforce this.
+All engines consume the identical random stream and produce identical
+outcomes for the same seed; differential tests enforce this.
 
 Observability
 -------------
@@ -71,6 +80,7 @@ from typing import Dict, List, Mapping, Optional
 import numpy as np
 
 from repro.core import bounds
+from repro.core.columnar import ColumnarStore, tree_payments_columnar
 from repro.core.cra import cra
 from repro.core.engine import SortedTypePool, StageTimers, cra_presorted
 from repro.core.exceptions import (
@@ -98,7 +108,7 @@ __all__ = [
 
 BUDGET_POLICIES = ("lemma", "paper", "until-complete")
 
-ENGINES = ("sorted", "reference")
+ENGINES = ("sorted", "reference", "columnar")
 
 #: How randomness is threaded through the per-type auction loops.
 #:
@@ -147,8 +157,9 @@ class RIT(Mechanism):
         :func:`repro.core.cra.cra`); 1.0 is the paper's mechanism.
     engine:
         One of :data:`ENGINES` — ``"sorted"`` (incremental sorted engine,
-        default) or ``"reference"`` (per-round rebuild); see the module
-        docstring.  Outcomes are seed-for-seed identical between the two.
+        default), ``"reference"`` (per-round rebuild) or ``"columnar"``
+        (struct-of-arrays epoch store); see the module docstring.
+        Outcomes are seed-for-seed identical across all three.
     rng_policy:
         One of :data:`RNG_POLICIES` — ``"stream"`` (one generator shared
         sequentially across types, default) or ``"per-type"`` (independent
@@ -264,9 +275,32 @@ class RIT(Mechanism):
         asks: Mapping[int, Ask],
         tree: IncentiveTree,
         rng: SeedLike = None,
+        *,
+        columnar_store: Optional[ColumnarStore] = None,
     ) -> MechanismOutcome:
         gen = as_generator(rng)
-        self._validate(job, asks, tree)
+        store: Optional[ColumnarStore] = None
+        if self.engine == "columnar":
+            # Store construction performs the full profile validation; a
+            # caller-provided store (epoch service, bench) is checked for
+            # basic consistency with this run's profile.
+            store = columnar_store
+            if store is None:
+                if asks:
+                    store = ColumnarStore.build(job, asks, tree)
+                else:
+                    self._validate(job, asks, tree)
+            elif store.num_users != len(asks):
+                raise ConfigurationError(
+                    f"columnar store holds {store.num_users} users but the "
+                    f"profile has {len(asks)}; rebuild the store per epoch"
+                )
+        else:
+            if columnar_store is not None:
+                raise ConfigurationError(
+                    "columnar_store is only meaningful with engine='columnar'"
+                )
+            self._validate(job, asks, tree)
         tracer = self.tracer
         tracing = tracer.enabled
         clock = tracer.clock
@@ -285,15 +319,28 @@ class RIT(Mechanism):
                 num_types=job.num_types,
             )
             tracer.count("mechanism_runs")
+            if store is not None:
+                tracer.count(
+                    "columnar_store_bytes", store.nbytes, unit="bytes"
+                )
         t_start = clock()
 
-        timers = StageTimers(clock=clock) if self.engine == "sorted" else None
+        timers = (
+            StageTimers(clock=clock)
+            if self.engine in ("sorted", "columnar")
+            else None
+        )
         shards: List[TypeShardResult] = []
 
         if asks:
-            uid_arr, type_arr, val_arr, cap_arr = profile_arrays(asks)
-            k_max = self.k_max_override or int(cap_arr.max())
-            by_type = pools_from_arrays(uid_arr, type_arr, val_arr, cap_arr)
+            if store is not None:
+                k_max = self.k_max_override or store.k_max
+            else:
+                uid_arr, type_arr, val_arr, cap_arr = profile_arrays(asks)
+                k_max = self.k_max_override or int(cap_arr.max())
+                by_type = pools_from_arrays(
+                    uid_arr, type_arr, val_arr, cap_arr
+                )
             per_type = self.rng_policy == "per-type"
             type_seeds = spawn_seeds(gen, job.num_types) if per_type else None
             for tau in job.types():
@@ -303,11 +350,14 @@ class RIT(Mechanism):
                 shard_gen = (
                     as_generator(type_seeds[tau]) if type_seeds is not None else gen
                 )
+                group = (
+                    store.pool(tau) if store is not None else by_type.get(tau)
+                )
                 shards.append(
                     self.run_type_shard(
                         tau,
                         m_i,
-                        by_type.get(tau),
+                        group,
                         k_max,
                         job.num_types,
                         shard_gen,
@@ -325,6 +375,7 @@ class RIT(Mechanism):
             started_at=t_start,
             auction_ended_at=t_auction,
             timers=timers,
+            columnar_store=store,
         )
         if not final.completed and self.raise_on_failure:
             # Algorithm 3 line 27 escalated: unwind spans, then raise.
@@ -378,7 +429,9 @@ class RIT(Mechanism):
         auction_payments: Dict[int, float] = {}
         rounds_log: List[RoundRecord] = []
         budget = self.budget_for(m_i, k_max, num_types)
-        use_sorted = self.engine == "sorted"
+        # Both presorted engines resolve rounds against the pool's stable
+        # value order; "columnar" merely got the order from the epoch store.
+        use_presorted = self.engine in ("sorted", "columnar")
         tracer = self.tracer
         tracing = tracer.enabled
         cra_sid = -1
@@ -394,7 +447,7 @@ class RIT(Mechanism):
             round_sid = -1
             if tracing:
                 round_sid = tracer.begin("round", round_index=rounds, q=q)
-            if use_sorted:
+            if use_presorted:
                 result = cra_presorted(
                     group,
                     q,
@@ -429,7 +482,7 @@ class RIT(Mechanism):
                     overflow_trimmed=result.overflow_trimmed,
                 )
             )
-            if use_sorted:
+            if use_presorted:
                 for uid in winner_uids.tolist():
                     allocation[uid] = allocation.get(uid, 0) + 1
                     auction_payments[uid] = (
@@ -452,7 +505,7 @@ class RIT(Mechanism):
                 if result.num_winners:
                     tracer.count("winners_selected", result.num_winners)
                     tracer.count("tasks_allocated", result.num_winners)
-                    if use_sorted:
+                    if use_presorted:
                         tracer.count("fenwick_rebuilds")
                 else:
                     tracer.count("zero_winner_rounds")
@@ -483,6 +536,7 @@ class RIT(Mechanism):
         started_at: float = 0.0,
         auction_ended_at: Optional[float] = None,
         timers: Optional[StageTimers] = None,
+        columnar_store: Optional[ColumnarStore] = None,
     ) -> MechanismOutcome:
         """Assemble a full :class:`MechanismOutcome` from per-type shards.
 
@@ -531,18 +585,27 @@ class RIT(Mechanism):
                 tracer.count("runs_voided")
             return outcome.void(elapsed_total=clock() - started_at)
         # Payment determination phase (lines 22-25).
-        types = {uid: ask.task_type for uid, ask in asks.items()}
-        payments = tree_payments(
-            tree, auction_payments, types, decay=self.decay, tracer=tracer
-        )
-        kept = {uid: p for uid, p in payments.items() if not is_zero(p)}
+        if self.engine == "columnar" and asks:
+            store = columnar_store
+            if store is None:
+                store = ColumnarStore.build(job, asks, tree)
+            kept, num_nodes = tree_payments_columnar(
+                store, auction_payments, self.decay, tracer=tracer
+            )
+        else:
+            types = {uid: ask.task_type for uid, ask in asks.items()}
+            payments = tree_payments(
+                tree, auction_payments, types, decay=self.decay, tracer=tracer
+            )
+            kept = {uid: p for uid, p in payments.items() if not is_zero(p)}
+            num_nodes = len(payments)
         final = outcome.finalize(
             payments=kept, elapsed_total=clock() - started_at
         )
         if tracing:
             tracer.count("runs_completed")
             tracer.count("payment_recipients", len(kept))
-            tracer.count("payments_pruned", len(payments) - len(kept))
+            tracer.count("payments_pruned", num_nodes - len(kept))
         return final
 
     # ------------------------------------------------------------------ #

@@ -19,6 +19,8 @@ import math
 from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, Iterator, List, Mapping, Sequence, Tuple
 
+import numpy as np
+
 from repro.core.exceptions import ConfigurationError, ModelError
 
 __all__ = [
@@ -51,6 +53,7 @@ class Job:
     """
 
     counts: Tuple[int, ...]
+    _size: int = field(init=False, repr=False, compare=False, default=0)
 
     def __init__(self, counts: Iterable[int]):
         counts = tuple(int(c) for c in counts)
@@ -58,9 +61,13 @@ class Job:
             raise ConfigurationError("a job needs at least one task type")
         if any(c < 0 for c in counts):
             raise ConfigurationError(f"task counts must be >= 0, got {counts}")
-        if sum(counts) == 0:
+        total = sum(counts)
+        if total == 0:
             raise ConfigurationError("a job must request at least one task")
         object.__setattr__(self, "counts", counts)
+        # |J| is read on every mechanism run (span attrs, completion
+        # checks); cache the sum the validation above already computed.
+        object.__setattr__(self, "_size", total)
 
     @property
     def num_types(self) -> int:
@@ -69,8 +76,8 @@ class Job:
 
     @property
     def size(self) -> int:
-        """``|J|``, the total number of tasks across all types."""
-        return sum(self.counts)
+        """``|J|``, the total number of tasks (cached at construction)."""
+        return self._size
 
     def tasks_of(self, task_type: TaskType) -> int:
         """``m_i`` for the given type; raises for an unknown type."""
@@ -253,6 +260,25 @@ class Population:
     @property
     def ids(self) -> List[int]:
         return [u.user_id for u in self.users]
+
+    def dense_ids(self) -> np.ndarray:
+        """User ids as an int64 array, verified dense ``0 … n-1``.
+
+        The columnar builder
+        (:meth:`repro.core.columnar.ColumnarStore.from_population`) gathers
+        per-user attributes by direct ``array[user_id]`` indexing, which is
+        only sound for the dense id space of an honest population —
+        sybil-extended populations (fresh ids beyond ``n``) must go through
+        the ask-profile constructor instead.
+        """
+        n = len(self.users)
+        ids = np.fromiter((u.user_id for u in self.users), np.int64, count=n)
+        if n and (int(ids.min()) != 0 or int(ids.max()) != n - 1):
+            raise ModelError(
+                "population ids are not dense 0…n-1; build the columnar "
+                "store from the ask profile instead"
+            )
+        return ids
 
     @property
     def k_max(self) -> int:

@@ -11,7 +11,10 @@ RIT009   blocking call in a *sync* function reachable from a service
 RIT010   ambient/unseeded RNG in a module *other than* the mechanism entry
          point that reaches it (same-module ambiance is RIT001's job)
 RIT011   module-level mutable state read+written by code reachable from
-         concurrent shard workers, without a ``# rit: owner=`` marker
+         concurrent shard workers, without a ``# rit: owner=`` marker;
+         also validates that declared owners name a known role from
+         :data:`OWNER_ROLES` (a typo'd role would silently disable the
+         race check)
 RIT012   ``==``/``!=`` on the monetary result of a *cross-module* call
          whose local name carries no money word (else RIT002 fires)
 RIT013   public hot-path function with no tracer span, neither direct nor
@@ -37,6 +40,7 @@ __all__ = [
     "HOT_MODULES",
     "CONCURRENT_ROOT_MODULES",
     "CONCURRENT_ROOT_FUNCTIONS",
+    "OWNER_ROLES",
     "run_passes",
 ]
 
@@ -48,6 +52,7 @@ HOT_MODULES = (
     "repro.core.rit",
     "repro.core.engine",
     "repro.core.cra",
+    "repro.core.columnar",
     "repro.core.payments",
     "repro.service.workers",
     "repro.service.epochs",
@@ -61,7 +66,20 @@ _HOT_MIN_STATEMENTS = 8
 CONCURRENT_ROOT_MODULES = ("repro.service.workers",)
 
 #: Specific functions dispatched to worker threads from elsewhere.
-CONCURRENT_ROOT_FUNCTIONS = ("repro.core.rit.RIT.run_type_shard",)
+#: The columnar store hands each shard a pool view over its frozen
+#: epoch-scoped arrays, so everything reachable from ``pool()`` runs
+#: concurrently once the shards start.
+CONCURRENT_ROOT_FUNCTIONS = (
+    "repro.core.rit.RIT.run_type_shard",
+    "repro.core.columnar.ColumnarStore.pool",
+)
+
+#: Recognised single-writer roles for ``# rit: owner=<role>`` markers.
+#: ``epoch`` is the columnar-store convention: state built once per epoch
+#: before any shard worker can observe it, then treated as immutable for
+#: the epoch's lifetime (the store enforces this with ``writeable=False``
+#: arrays; per-run mutable capacity lives in each shard's private pool).
+OWNER_ROLES = ("main-thread", "import-time-only", "epoch")
 
 #: id → (name, rationale) — surfaced by ``rit analyze --list-rules``.
 ANALYSIS_RULES: Dict[str, Tuple[str, str]] = {
@@ -223,6 +241,22 @@ def pass_rit011(program: Program) -> List[Finding]:
     out: List[Finding] = []
     for module in sorted(program.modules):
         summary = program.modules[module]
+        for g in summary.mutable_globals:
+            if g.owner is None or g.owner in OWNER_ROLES:
+                continue
+            _emit(
+                summary,
+                _finding(
+                    summary,
+                    "RIT011",
+                    g.line,
+                    g.col,
+                    f"ownership marker on '{g.name}' declares unknown role "
+                    f"'{g.owner}' (known roles: {', '.join(OWNER_ROLES)}); "
+                    "a typo'd role silently disables the race check",
+                ),
+                out,
+            )
         unowned = {
             g.name: g for g in summary.mutable_globals if g.owner is None
         }

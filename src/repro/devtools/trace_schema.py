@@ -139,15 +139,19 @@ def validate_trace_events(events: Sequence[Mapping[str, Any]]) -> List[str]:
             if not isinstance(delta, Number) or not isinstance(value, Number):
                 problems.append(f"{where}: counter delta/value must be numbers")
                 continue
-            if unit == "count" and not (_is_int(delta) and _is_int(value)):
-                problems.append(f"{where}: count-unit deltas/values must be ints")
+            if unit in ("count", "bytes") and not (
+                _is_int(delta) and _is_int(value)
+            ):
+                problems.append(
+                    f"{where}: {unit}-unit deltas/values must be ints"
+                )
             known = units.setdefault(name, unit)
             if known != unit:
                 problems.append(
                     f"{where}: counter {name!r} switched unit {known!r} -> {unit!r}"
                 )
             expected = totals.get(name, 0) + delta
-            if unit == "count" and value != expected:
+            if unit in ("count", "bytes") and value != expected:
                 problems.append(
                     f"{where}: counter {name!r} value {value} != running {expected}"
                 )

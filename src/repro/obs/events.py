@@ -32,9 +32,9 @@ Determinism contract
 --------------------
 :func:`canonical_events` drops ``t`` and the measured values of
 ``"seconds"``-unit counters; everything that remains — event order, span
-topology, attributes, count-unit counter values — must be identical across
-reruns with the same seed and configuration.  The golden-trace tests
-enforce exactly this.
+topology, attributes, count- and bytes-unit counter values — must be
+identical across reruns with the same seed and configuration.  The
+golden-trace tests enforce exactly this.
 """
 
 from __future__ import annotations
@@ -65,10 +65,12 @@ EVENT_KINDS = ("trace", "span_start", "span_end", "counter")
 #: four are the levels the smoke gate requires.
 SPAN_LEVELS = ("run", "mechanism", "cra", "round")
 
-#: Legal values of a counter event's ``unit`` field.  ``"count"`` counters
-#: are exactly reproducible; ``"seconds"`` counters are measured time and
-#: excluded from the canonical stream.
-COUNTER_UNITS = ("count", "seconds")
+#: Legal values of a counter event's ``unit`` field.  ``"count"`` and
+#: ``"bytes"`` counters are exactly reproducible (bytes report
+#: deterministic memory footprints, e.g. the per-epoch columnar store);
+#: ``"seconds"`` counters are measured time and excluded from the
+#: canonical stream.
+COUNTER_UNITS = ("count", "seconds", "bytes")
 
 
 def config_hash(config: Mapping[str, Any]) -> str:

@@ -240,14 +240,14 @@ class Tracer(NullTracer):
     def count(self, name: str, delta: Any = 1, *, unit: str = "count") -> None:
         """Increment a monotonic counter and record the event.
 
-        ``unit`` is fixed at first use; ``"count"`` deltas should be ints
-        (exactly reproducible), ``"seconds"`` deltas are floats and are
-        excluded from the canonical stream.
+        ``unit`` is fixed at first use; ``"count"`` and ``"bytes"`` deltas
+        should be ints (exactly reproducible), ``"seconds"`` deltas are
+        floats and are excluded from the canonical stream.
         """
         known = self._units.get(name)
         if known is None:
             self._units[name] = unit
-            self._counters[name] = 0 if unit == "count" else 0.0
+            self._counters[name] = 0.0 if unit == "seconds" else 0
         elif known != unit:
             raise ValueError(
                 f"counter {name!r} registered with unit {known!r}, got {unit!r}"
@@ -332,7 +332,7 @@ class Tracer(NullTracer):
                 known = self._units.get(name)
                 if known is None:
                     self._units[name] = unit
-                    self._counters[name] = 0 if unit == "count" else 0.0
+                    self._counters[name] = 0.0 if unit == "seconds" else 0
                 elif known != unit:
                     raise ValueError(
                         f"counter {name!r} registered with unit {known!r}, "

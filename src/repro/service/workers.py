@@ -29,6 +29,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.core.columnar import ColumnarStore
 from repro.core.engine import SortedTypePool, StageTimers
 from repro.core.outcome import MechanismOutcome, TypeShardResult
 from repro.core.rit import RIT, pools_from_arrays, profile_arrays
@@ -113,10 +114,29 @@ async def run_epoch(
         pending: List[
             Tuple[int, NullTracer, Optional[StageTimers], "asyncio.Future[TypeShardResult]"]
         ] = []
+        store: Optional[ColumnarStore] = None
         if asks:
-            uid_arr, type_arr, val_arr, cap_arr = profile_arrays(asks)
-            k_max = mechanism.k_max_override or int(cap_arr.max())
-            by_type = pools_from_arrays(uid_arr, type_arr, val_arr, cap_arr)
+            if mechanism.engine == "columnar":
+                # The epoch-scoped store is built once (off the event
+                # loop) and shared read-only across all type shards; each
+                # shard's mutable capacity state lives in its own pool.
+                store = await loop.run_in_executor(
+                    executor,
+                    functools.partial(
+                        ColumnarStore.build, job, asks, snapshot.tree
+                    ),
+                )
+                if tracing:
+                    tracer.count(
+                        "columnar_store_bytes", store.nbytes, unit="bytes"
+                    )
+                k_max = mechanism.k_max_override or store.k_max
+            else:
+                uid_arr, type_arr, val_arr, cap_arr = profile_arrays(asks)
+                k_max = mechanism.k_max_override or int(cap_arr.max())
+                by_type = pools_from_arrays(
+                    uid_arr, type_arr, val_arr, cap_arr
+                )
             type_seeds = spawn_seeds(gen, job.num_types)
             for tau in job.types():
                 m_i = job.tasks_of(tau)
@@ -129,8 +149,11 @@ async def run_epoch(
                     )
                 timers = (
                     StageTimers(clock=clock)
-                    if mechanism.engine == "sorted"
+                    if mechanism.engine in ("sorted", "columnar")
                     else None
+                )
+                pool = (
+                    store.pool(tau) if store is not None else by_type.get(tau)
                 )
                 future = loop.run_in_executor(
                     executor,
@@ -139,7 +162,7 @@ async def run_epoch(
                         mechanism,
                         tau,
                         m_i,
-                        by_type.get(tau),
+                        pool,
                         k_max,
                         job.num_types,
                         type_seeds[tau],
@@ -151,7 +174,9 @@ async def run_epoch(
 
         shards: List[TypeShardResult] = []
         merged_timers = (
-            StageTimers(clock=clock) if mechanism.engine == "sorted" else None
+            StageTimers(clock=clock)
+            if mechanism.engine in ("sorted", "columnar")
+            else None
         )
         # Await and absorb in ascending type order: shard *execution* is
         # concurrent, but the merged trace and the shard list are built
@@ -182,6 +207,7 @@ async def run_epoch(
                 started_at=t_start,
                 auction_ended_at=t_auction,
                 timers=merged_timers,
+                columnar_store=store,
             )
         finally:
             if tracing:

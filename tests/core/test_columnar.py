@@ -1,0 +1,340 @@
+"""Unit tests for the columnar struct-of-arrays store and its kernels.
+
+The differential guarantees (columnar == sorted, seed by seed) live in
+``test_rit_engines.py`` and ``test_columnar_differential.py``; this file
+pins the store's construction contract — array layout, validation
+messages, frozen ownership, kernel-by-kernel equivalence to the object
+path.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.columnar import ColumnarStore, tree_payments_columnar
+from repro.core.exceptions import (
+    ConfigurationError,
+    ModelError,
+    TreeError,
+)
+from repro.core.extract import extract
+from repro.core.numeric import is_zero
+from repro.core.payments import tree_payments
+from repro.core.rit import RIT, profile_arrays, pools_from_arrays
+from repro.core.types import Ask, Job
+from repro.tree.incentive_tree import IncentiveTree
+from repro.workloads.scenarios import paper_scenario
+from repro.workloads.users import UserDistribution
+
+
+def small_scenario(users=60, types=3, tasks_per_type=8, seed=5):
+    job = Job.uniform(types, tasks_per_type)
+    scenario = paper_scenario(
+        users, job, rng=seed, distribution=UserDistribution(num_types=types)
+    )
+    return job, scenario
+
+
+@pytest.fixture()
+def store_setup():
+    job, scenario = small_scenario()
+    asks = scenario.truthful_asks()
+    return job, scenario, asks, ColumnarStore.build(job, asks, scenario.tree)
+
+
+class TestStoreConstruction:
+    def test_profile_arrays_match_the_object_path(self, store_setup):
+        job, scenario, asks, store = store_setup
+        uid_arr, type_arr, val_arr, cap_arr = profile_arrays(asks)
+        np.testing.assert_array_equal(store.uids, uid_arr)
+        np.testing.assert_array_equal(store.types, type_arr)
+        np.testing.assert_array_equal(store.values, val_arr)
+        np.testing.assert_array_equal(store.caps, cap_arr)
+        assert store.num_users == len(asks)
+        assert store.k_max == int(cap_arr.max())
+
+    def test_type_supply_sums_capacities(self, store_setup):
+        job, scenario, asks, store = store_setup
+        for tau in job.types():
+            expected = sum(
+                a.capacity for a in asks.values() if a.task_type == tau
+            )
+            assert store.type_supply[tau] == expected
+
+    def test_arrays_are_frozen(self, store_setup):
+        _, _, _, store = store_setup
+        for arr in (
+            store.uids,
+            store.values,
+            store.caps,
+            store.bfs_parent,
+            store.subtree_sizes,
+            store.child_index,
+        ):
+            with pytest.raises(ValueError):
+                arr[0] = 0
+
+    def test_nbytes_counts_profile_tree_and_blocks(self, store_setup):
+        _, _, _, store = store_setup
+        floor = (
+            store.uids.nbytes
+            + store.bfs_uids.nbytes
+            + store.child_index.nbytes
+        )
+        assert store.nbytes > floor
+        assert isinstance(store.nbytes, int)
+
+    def test_empty_profile_builds_an_empty_store(self):
+        job = Job.uniform(2, 3)
+        store = ColumnarStore.build(job, {}, IncentiveTree())
+        assert store.num_users == 0
+        assert store.k_max == 0
+        assert store.pool(0) is None
+        assert store.extract_units(1).values.size == 0
+        assert store.nbytes >= 0
+
+
+class TestValidation:
+    def test_error_messages_match_the_object_path(self):
+        job, scenario = small_scenario(users=20)
+        asks = scenario.truthful_asks()
+        mech = RIT(engine="sorted")
+
+        def messages(bad_asks, bad_tree):
+            errors = []
+            for build in (
+                lambda: ColumnarStore.build(job, bad_asks, bad_tree),
+                lambda: mech.run(
+                    job, bad_asks, bad_tree, np.random.default_rng(0)
+                ),
+            ):
+                with pytest.raises(ModelError) as excinfo:
+                    build()
+                errors.append(str(excinfo.value))
+            return errors
+
+        # An ask from a user the tree never admitted.
+        extra = dict(asks)
+        extra[999] = Ask(task_type=0, capacity=1, value=1.0)
+        columnar_msg, object_msg = messages(extra, scenario.tree)
+        assert columnar_msg == object_msg
+
+        # A tree node that never submitted an ask.
+        short = dict(asks)
+        del short[next(iter(short))]
+        columnar_msg, object_msg = messages(short, scenario.tree)
+        assert columnar_msg == object_msg
+
+    def test_out_of_range_type_names_the_first_offender(self):
+        job = Job.uniform(2, 3)
+        tree = IncentiveTree()
+        tree.attach(0)
+        asks = {0: Ask(task_type=7, capacity=1, value=1.0)}
+        with pytest.raises(ModelError) as excinfo:
+            ColumnarStore.build(job, asks, tree)
+        assert "user 0 bids for type 7" in str(excinfo.value)
+
+
+class TestExtractKernel:
+    def test_unit_asks_equal_algorithm_2(self, store_setup):
+        job, scenario, asks, store = store_setup
+        for tau in job.types():
+            kernel = store.extract_units(tau)
+            reference = extract(tau, asks)
+            assert kernel.task_type == reference.task_type
+            np.testing.assert_array_equal(kernel.values, reference.values)
+            np.testing.assert_array_equal(kernel.owners, reference.owners)
+
+
+class TestPoolKernel:
+    def test_pools_equal_per_run_construction(self, store_setup):
+        job, scenario, asks, store = store_setup
+        uid_arr, type_arr, val_arr, cap_arr = profile_arrays(asks)
+        by_type = pools_from_arrays(uid_arr, type_arr, val_arr, cap_arr)
+        for tau in job.types():
+            fresh = by_type.get(tau)
+            pool = store.pool(tau)
+            if fresh is None:
+                assert pool is None
+                continue
+            np.testing.assert_array_equal(pool.uids, fresh.uids)
+            np.testing.assert_array_equal(pool.values, fresh.values)
+            np.testing.assert_array_equal(pool.remaining, fresh.remaining)
+            np.testing.assert_array_equal(
+                pool._sorted_users, fresh._sorted_users
+            )
+            np.testing.assert_array_equal(
+                pool._sorted_values, fresh._sorted_values
+            )
+            np.testing.assert_array_equal(pool._rank, fresh._rank)
+
+    def test_pool_capacity_state_is_private_per_pool(self, store_setup):
+        _, _, _, store = store_setup
+        tau = 0
+        first = store.pool(tau)
+        before = first.remaining.copy()
+        first.remaining[:] = 0
+        second = store.pool(tau)
+        np.testing.assert_array_equal(second.remaining, before)
+
+
+class TestTreeArrays:
+    def test_bfs_layout_matches_the_tree(self, store_setup):
+        _, scenario, _, store = store_setup
+        tree = scenario.tree
+        order = tree.bfs_order()
+        np.testing.assert_array_equal(
+            store.bfs_uids, np.asarray(order, dtype=np.int64)
+        )
+        depths = tree.depths()
+        for pos, uid in enumerate(order):
+            assert store.bfs_depth[pos] == depths[uid]
+            assert store.subtree_sizes[pos] == tree.subtree_size(uid)
+            lo, hi = store.child_start[pos], store.child_start[pos + 1]
+            children = {
+                order[i] for i in store.child_index[lo:hi].tolist()
+            }
+            assert children == set(tree.children(uid))
+
+    def test_grafted_tree_is_reflected_by_a_fresh_store(self):
+        job, scenario = small_scenario(users=40, seed=9)
+        asks = scenario.truthful_asks()
+        tree = scenario.tree
+        # Withdraw the first internal node the way the service does:
+        # graft its children onto the grandparent, drop the leaf + ask.
+        victim = next(u for u in tree.bfs_order() if tree.children(u))
+        tree.reattach_children(victim, tree.parent(victim))
+        tree.remove_leaf(victim)
+        del asks[victim]
+        store = ColumnarStore.build(job, asks, tree)
+        assert victim not in store.bfs_uids.tolist()
+        np.testing.assert_array_equal(
+            store.bfs_uids, np.asarray(tree.bfs_order(), dtype=np.int64)
+        )
+        for pos, uid in enumerate(tree.bfs_order()):
+            assert store.subtree_sizes[pos] == tree.subtree_size(uid)
+
+
+class TestPaymentsKernel:
+    def test_bitwise_equal_to_tree_payments_plus_prune(self, store_setup):
+        job, scenario, asks, store = store_setup
+        gen = np.random.default_rng(3)
+        uids = list(asks)
+        winners = gen.choice(
+            uids, size=max(1, len(uids) // 3), replace=False
+        )
+        auction = {
+            int(uid): float(gen.uniform(0.5, 4.0)) for uid in winners
+        }
+        for decay in (0.3, 0.5):
+            kept, num_nodes = tree_payments_columnar(
+                store, auction, decay
+            )
+            task_types = {
+                uid: ask.task_type for uid, ask in asks.items()
+            }
+            reference = tree_payments(
+                scenario.tree, auction, task_types, decay=decay
+            )
+            pruned = {
+                uid: pay
+                for uid, pay in reference.items()
+                if not is_zero(pay)
+            }
+            assert kept == pruned, f"decay {decay}"
+            assert num_nodes == len(scenario.tree)
+            # Bitwise, not approximately: the kernel replicates the
+            # float operation sequence of the object path.
+            for uid, pay in kept.items():
+                assert pay == pruned[uid]
+
+    def test_decay_validation_matches_tree_payments(self, store_setup):
+        _, _, _, store = store_setup
+        with pytest.raises(TreeError) as excinfo:
+            tree_payments_columnar(store, {}, 1.5)
+        assert "decay must be in (0, 1)" in str(excinfo.value)
+
+    def test_empty_store_pays_nobody(self):
+        job = Job.uniform(2, 3)
+        store = ColumnarStore.build(job, {}, IncentiveTree())
+        assert tree_payments_columnar(store, {}, 0.5) == ({}, 0)
+
+
+class TestFromPopulation:
+    def test_equals_build_from_truthful_asks(self):
+        job, scenario = small_scenario(users=80, seed=11)
+        via_asks = ColumnarStore.build(
+            job, scenario.truthful_asks(), scenario.tree
+        )
+        via_population = ColumnarStore.from_population(
+            job, scenario.population, scenario.tree
+        )
+        np.testing.assert_array_equal(via_population.uids, via_asks.uids)
+        np.testing.assert_array_equal(via_population.types, via_asks.types)
+        np.testing.assert_array_equal(
+            via_population.values, via_asks.values
+        )
+        np.testing.assert_array_equal(via_population.caps, via_asks.caps)
+        np.testing.assert_array_equal(
+            via_population.bfs_uids, via_asks.bfs_uids
+        )
+        assert via_population.nbytes == via_asks.nbytes
+
+    def test_tree_node_off_population_rejected(self):
+        job, scenario = small_scenario(users=10)
+        tree = scenario.tree.copy()
+        tree.attach(10_000, next(iter(tree.nodes())))
+        with pytest.raises(ModelError) as excinfo:
+            ColumnarStore.from_population(job, scenario.population, tree)
+        assert "tree nodes without asks" in str(excinfo.value)
+
+
+class TestRunWiring:
+    def test_store_only_meaningful_for_columnar_engine(self):
+        job, scenario = small_scenario(users=20)
+        asks = scenario.truthful_asks()
+        store = ColumnarStore.build(job, asks, scenario.tree)
+        with pytest.raises(ConfigurationError):
+            RIT(engine="sorted").run(
+                job,
+                asks,
+                scenario.tree,
+                np.random.default_rng(0),
+                columnar_store=store,
+            )
+
+    def test_stale_store_rejected(self):
+        job, scenario = small_scenario(users=20)
+        asks = scenario.truthful_asks()
+        store = ColumnarStore.build(job, asks, scenario.tree)
+        shrunk = dict(asks)
+        victim = next(u for u in asks if not scenario.tree.children(u))
+        tree = scenario.tree.copy()
+        tree.remove_leaf(victim)
+        del shrunk[victim]
+        with pytest.raises(ConfigurationError) as excinfo:
+            RIT(engine="columnar").run(
+                job, shrunk, tree, np.random.default_rng(0),
+                columnar_store=store,
+            )
+        assert "rebuild the store per epoch" in str(excinfo.value)
+
+    def test_prebuilt_store_changes_nothing(self):
+        job, scenario = small_scenario(users=70, seed=4)
+        asks = scenario.truthful_asks()
+        store = ColumnarStore.build(job, asks, scenario.tree)
+        mech = RIT(engine="columnar")
+        with_store = mech.run(
+            job,
+            asks,
+            scenario.tree,
+            np.random.default_rng(7),
+            columnar_store=store,
+        )
+        without_store = mech.run(
+            job, asks, scenario.tree, np.random.default_rng(7)
+        )
+        assert with_store.allocation == without_store.allocation
+        assert with_store.payments == without_store.payments
+        assert (
+            with_store.auction_payments == without_store.auction_payments
+        )

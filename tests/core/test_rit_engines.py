@@ -121,31 +121,36 @@ class TestEngineEquivalence:
                 outcomes[engine] = mech.run(
                     job, asks, scenario.tree, np.random.default_rng(run_seed)
                 )
-            fast, ref = outcomes["sorted"], outcomes["reference"]
-            context = f"policy {policy} trial {trial}"
-            assert fast.completed == ref.completed, context
-            assert fast.allocation == ref.allocation, context
-            assert fast.auction_payments == ref.auction_payments, context
-            assert fast.payments == ref.payments, context
-            assert outcome_rounds(fast) == outcome_rounds(ref), context
+            fast = outcomes["sorted"]
+            for other_name in ("reference", "columnar"):
+                other = outcomes[other_name]
+                context = f"policy {policy} trial {trial} vs {other_name}"
+                assert fast.completed == other.completed, context
+                assert fast.allocation == other.allocation, context
+                assert (
+                    fast.auction_payments == other.auction_payments
+                ), context
+                assert fast.payments == other.payments, context
+                assert outcome_rounds(fast) == outcome_rounds(other), context
 
-    def test_stage_timings_populated_only_by_sorted_engine(self):
+    def test_stage_timings_populated_by_presorted_engines_only(self):
         job = Job.uniform(2, 5)
         scenario = paper_scenario(
             60, job, rng=0, distribution=UserDistribution(num_types=2)
         )
         asks = scenario.truthful_asks()
-        sorted_outcome = RIT(engine="sorted").run(
-            job, asks, scenario.tree, np.random.default_rng(0)
-        )
-        assert set(sorted_outcome.stage_timings) == {
-            "sample",
-            "consensus",
-            "select",
-            "consume",
-        }
-        assert all(v >= 0.0 for v in sorted_outcome.stage_timings.values())
-        assert sum(sorted_outcome.stage_timings.values()) > 0.0
+        for engine in ("sorted", "columnar"):
+            outcome = RIT(engine=engine).run(
+                job, asks, scenario.tree, np.random.default_rng(0)
+            )
+            assert set(outcome.stage_timings) == {
+                "sample",
+                "consensus",
+                "select",
+                "consume",
+            }, engine
+            assert all(v >= 0.0 for v in outcome.stage_timings.values())
+            assert sum(outcome.stage_timings.values()) > 0.0
         reference_outcome = RIT(engine="reference").run(
             job, asks, scenario.tree, np.random.default_rng(0)
         )

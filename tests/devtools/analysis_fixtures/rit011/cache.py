@@ -3,12 +3,15 @@
 
 _RESULTS = {}
 SEEN_TYPES = []  # rit: owner=main-thread
+_EPOCH_VIEW = {}  # rit: owner=epoch
+_SCRATCH = []  # rit: owner=somebody-else  # expect: RIT011
 
 
 def record_result(type_id, total):
     _RESULTS[type_id] = total  # expect: RIT011
     SEEN_TYPES.append(type_id)  # owned: must NOT be reported
+    _EPOCH_VIEW[type_id] = total  # epoch-owned: must NOT be reported
 
 
 def summary():
-    return dict(_RESULTS), list(SEEN_TYPES)
+    return dict(_RESULTS), list(SEEN_TYPES), dict(_EPOCH_VIEW)

@@ -67,9 +67,17 @@ class TestInterproceduralMessages:
         assert "repro.core.fx10entry.run_mechanism" in finding.message
 
     def test_rit011_message_names_the_worker_chain(self):
-        (finding,) = _findings("rit011")
+        finding = next(
+            f for f in _findings("rit011") if "_RESULTS" in f.message
+        )
         assert "repro.service.workers.run_epoch_shard" in finding.message
-        assert "_RESULTS" in finding.message
+
+    def test_rit011_unknown_role_names_the_vocabulary(self):
+        finding = next(
+            f for f in _findings("rit011") if "_SCRATCH" in f.message
+        )
+        assert "somebody-else" in finding.message
+        assert "main-thread, import-time-only, epoch" in finding.message
 
     def test_rit012_message_names_the_cross_module_callee(self):
         (finding,) = _findings("rit012")
@@ -92,8 +100,10 @@ class TestExemptions:
 
     def test_owner_marker_exempts_mutable(self):
         findings = _findings("rit011")
-        assert len(findings) == 1
-        assert "SEEN_TYPES" not in findings[0].message
+        assert len(findings) == 2
+        messages = " | ".join(f.message for f in findings)
+        assert "SEEN_TYPES" not in messages
+        assert "_EPOCH_VIEW" not in messages
 
     def test_non_monetary_result_not_reported(self):
         assert len(_findings("rit012")) == 1

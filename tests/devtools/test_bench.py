@@ -9,7 +9,9 @@ from repro.cli import main
 from repro.core.exceptions import ConfigurationError
 from repro.devtools.bench import (
     BENCH_SCHEMA_VERSION,
+    SCENARIO_PRESETS,
     run_scaling_bench,
+    run_scenario_bench,
     validate_bench_schema,
     write_bench,
 )
@@ -25,8 +27,9 @@ class TestRunScalingBench:
         doc = run_scaling_bench(**TINY)
         assert validate_bench_schema(doc) == []
         assert doc["schema_version"] == BENCH_SCHEMA_VERSION
-        assert set(doc["engines"]) == {"sorted", "reference"}
+        assert set(doc["engines"]) == {"sorted", "reference", "columnar"}
         assert doc["speedup_sorted_vs_reference"] > 0.0
+        assert doc["speedup_columnar_vs_sorted"] > 0.0
         assert doc["speedup_vs_pre_pr"] > 0.0
         sorted_doc = doc["engines"]["sorted"]
         assert sorted_doc["completed_all_reps"] is True
@@ -39,6 +42,11 @@ class TestRunScalingBench:
         }
         # The reference engine reports no stage breakdown.
         assert doc["engines"]["reference"]["stages"] == {}
+        # The columnar engine reports its amortized store on the side.
+        columnar_doc = doc["engines"]["columnar"]
+        assert set(columnar_doc["stages"]) == set(sorted_doc["stages"])
+        assert columnar_doc["store_build_seconds"] >= 0.0
+        assert columnar_doc["store_bytes"] > 0
 
     def test_rejects_bad_arguments(self):
         with pytest.raises(ConfigurationError):
@@ -51,6 +59,69 @@ class TestRunScalingBench:
         assert "speedup_sorted_vs_reference" not in doc
         assert "speedup_vs_pre_pr" not in doc
         assert validate_bench_schema(doc) == []
+
+
+class TestEngineSubsets:
+    def test_unrequested_engines_marked_skipped(self):
+        doc = run_scaling_bench(**TINY, engines=("sorted", "columnar"))
+        assert doc["engines"]["reference"] == {"skipped": True}
+        assert "speedup_sorted_vs_reference" not in doc
+        assert doc["speedup_columnar_vs_sorted"] > 0.0
+        assert validate_bench_schema(doc) == []
+
+    def test_skipped_marker_must_carry_no_measurements(self):
+        doc = run_scaling_bench(**TINY, engines=("sorted",))
+        doc["engines"]["reference"] = {"skipped": True, "seconds": {}}
+        assert any(
+            "no measurements" in e for e in validate_bench_schema(doc)
+        )
+
+    def test_all_engines_skipped_flagged(self):
+        doc = run_scaling_bench(**TINY, engines=("sorted",))
+        for name in doc["engines"]:
+            doc["engines"][name] = {"skipped": True}
+        assert any(
+            "every engine is skipped" in e for e in validate_bench_schema(doc)
+        )
+
+    def test_columnar_without_store_fields_flagged(self):
+        doc = run_scaling_bench(**TINY, engines=("sorted", "columnar"))
+        del doc["engines"]["columnar"]["store_bytes"]
+        assert any("store_bytes" in e for e in validate_bench_schema(doc))
+
+
+class TestScenarios:
+    def test_presets_cover_the_issue_scales(self):
+        assert SCENARIO_PRESETS["100k"]["users"] == 100_000
+        assert SCENARIO_PRESETS["1m"]["users"] == 1_000_000
+        for preset in SCENARIO_PRESETS.values():
+            assert set(preset["engines"]) == {"sorted", "columnar"}
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_scenario_bench("bogus")
+
+    def test_unknown_scenario_name_flagged(self):
+        doc = run_scaling_bench(**TINY)
+        doc["scenarios"] = {"bogus": {"config": TINY, "engines": {}}}
+        errors = validate_bench_schema(doc)
+        assert any("unknown scenario preset" in e for e in errors)
+
+    def test_scenario_engines_reuse_the_engine_schema(self):
+        doc = run_scaling_bench(**TINY)
+        doc["scenarios"] = {
+            "100k": {
+                "config": dict(
+                    TINY, scenario_seed=2, round_budget="until-complete"
+                ),
+                "engines": {"sorted": {"skipped": True}},
+            }
+        }
+        errors = validate_bench_schema(doc)
+        assert any(
+            "scenarios.100k.engines: every engine is skipped" in e
+            for e in errors
+        )
 
 
 class TestValidateSchema:
@@ -211,6 +282,36 @@ class TestCLI:
         stdout = capsys.readouterr().out
         assert "speedup sorted vs reference" in stdout
         assert str(out) in stdout
+
+    def test_bench_engine_flag_skips_the_rest(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        code = main(
+            [
+                "bench",
+                "--users", "80",
+                "--types", "2",
+                "--tasks-per-type", "5",
+                "--reps", "2",
+                "--engine", "columnar",
+                "--out", str(out),
+            ]
+        )
+        assert code == 0
+        doc = json.loads(out.read_text())
+        assert validate_bench_schema(doc) == []
+        assert doc["engines"]["sorted"] == {"skipped": True}
+        assert doc["engines"]["reference"] == {"skipped": True}
+        assert doc["engines"]["columnar"]["store_bytes"] > 0
+        assert "skipped" in capsys.readouterr().out
+
+    def test_bench_smoke_gates_on_schema(self, tmp_path, capsys):
+        out = tmp_path / "smoke.json"
+        code = main(["bench", "--smoke", "--out", str(out)])
+        assert code == 0
+        doc = json.loads(out.read_text())
+        assert validate_bench_schema(doc) == []
+        assert doc["engines"]["reference"] == {"skipped": True}
+        assert "bench smoke OK" in capsys.readouterr().out
 
 
 def test_write_bench_round_trips(tmp_path):

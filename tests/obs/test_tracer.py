@@ -104,6 +104,23 @@ class TestCounters:
         with pytest.raises(ValueError):
             tracer.count("stage_seconds/sample", 1)
 
+    def test_bytes_counters_keep_integer_totals(self):
+        tracer = Tracer("run")
+        tracer.count("columnar_store_bytes", 1_024, unit="bytes")
+        tracer.count("columnar_store_bytes", 2_048, unit="bytes")
+        total = tracer.value("columnar_store_bytes")
+        assert total == 3_072
+        assert isinstance(total, int) and not isinstance(total, bool)
+        snap = tracer.snapshot()
+        assert snap["columnar_store_bytes"] == {
+            "value": 3_072,
+            "unit": "bytes",
+        }
+        for event in tracer.events:
+            if event["ev"] == "counter":
+                assert isinstance(event["value"], int)
+                assert isinstance(event["delta"], int)
+
     def test_owning_span_recorded(self):
         tracer = Tracer("run")
         with tracer.span("cra") as sid:
@@ -124,6 +141,19 @@ class TestCanonicalAndRoundtrip:
         assert count["value"] == 1
         assert "value" not in seconds and "delta" not in seconds
         assert seconds["unit"] == "seconds"
+
+    def test_bytes_counters_survive_canonicalization(self):
+        # Store footprints are deterministic (pure array sizes), so the
+        # canonical differential stream keeps them — unlike seconds.
+        tracer = Tracer("run")
+        tracer.count("columnar_store_bytes", 4_096, unit="bytes")
+        canon = canonical_events(tracer.events)
+        event = [
+            e for e in canon if e.get("name") == "columnar_store_bytes"
+        ][0]
+        assert event["value"] == 4_096
+        assert event["delta"] == 4_096
+        assert event["unit"] == "bytes"
 
     def test_jsonl_roundtrip(self, tmp_path):
         tracer = Tracer("run", seed=1, config={"k": [1, 2]})
@@ -188,8 +218,12 @@ class TestCatalog:
 
     def test_catalog_entries_are_unit_description_pairs(self):
         for name, (unit, description) in COUNTER_CATALOG.items():
-            assert unit in ("count", "seconds"), name
+            assert unit in ("count", "seconds", "bytes"), name
             assert description, name
+
+    def test_columnar_store_footprint_is_a_bytes_counter(self):
+        unit, _ = COUNTER_CATALOG["columnar_store_bytes"]
+        assert unit == "bytes"
 
     def test_family_lookup(self):
         assert describe_counter("figure_seconds/fig6a") is not None
