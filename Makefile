@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test lint analyze typecheck check trace trace-smoke serve serve-smoke loadgen bench bench-smoke bench-pytest bench-json smoke paper report examples clean
+.PHONY: install test lint analyze typecheck check trace trace-smoke serve serve-smoke metrics-smoke loadgen bench bench-smoke bench-pytest bench-json smoke paper report examples clean
 
 install:
 	pip install -e .
@@ -54,6 +54,16 @@ serve:
 serve-smoke:
 	PYTHONPATH=src $(PY) -m repro serve --smoke
 
+# CI gate (<15s): boot the smoke service with the HTTP telemetry plane on
+# an ephemeral port, self-probe /metrics (must round-trip the OpenMetrics
+# parser), /healthz, /readyz and /epochs over real TCP, then validate the
+# service_slo bench section emitted by a tiny open-loop loadgen run.
+metrics-smoke:
+	PYTHONPATH=src $(PY) -m repro serve --smoke --metrics-port 0 --probe-metrics
+	PYTHONPATH=src $(PY) -m repro loadgen --users 600 --types 3 \
+		--tasks-per-type 8 --epoch-events 256 --min-events 0 \
+		--bench --out /tmp/rit_metrics_smoke_bench.json
+
 # Open-loop service throughput/latency (merge into BENCH_RIT.json with
 # `rit loadgen --bench`).
 loadgen:
@@ -61,8 +71,9 @@ loadgen:
 
 # The full gate new PRs must pass: domain lint + whole-program analysis
 # + types + tier-1 tests + the trace schema smoke + the service
-# differential smoke + the columnar bench schema smoke.
-check: lint analyze typecheck test trace-smoke serve-smoke bench-smoke
+# differential smoke + the columnar bench schema smoke + the live
+# telemetry endpoint smoke.
+check: lint analyze typecheck test trace-smoke serve-smoke bench-smoke metrics-smoke
 
 # Fast perf baseline: times the scaling workload on both auction engines
 # and refreshes BENCH_RIT.json (the committed perf trajectory).

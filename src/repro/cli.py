@@ -38,7 +38,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import List, Optional
+from typing import Any, List, Optional, Tuple
 
 from repro.simulation import experiments as exp
 from repro.simulation.reporting import format_comparison_row, format_result
@@ -260,6 +260,45 @@ def build_parser() -> argparse.ArgumentParser:
         "--smoke", action="store_true",
         help="tiny CI preset (<10s): forces a small scenario and gates on "
         "the online-vs-offline differential check",
+    )
+    p_serve.add_argument(
+        "--metrics-port", type=int, default=None,
+        help="serve /metrics, /healthz, /readyz and /epochs on this port "
+        "while the stream drains (0 = ephemeral)",
+    )
+    p_serve.add_argument(
+        "--metrics-host", default="127.0.0.1",
+        help="bind address of the metrics endpoint",
+    )
+    p_serve.add_argument(
+        "--probe-metrics", action="store_true",
+        help="self-probe the endpoint after the drain: /metrics must "
+        "round-trip the OpenMetrics parser, probes must answer; nonzero "
+        "exit on any failure (requires --metrics-port)",
+    )
+
+    p_top = sub.add_parser(
+        "top",
+        help="epoch-over-epoch dashboard for a live service or a trace",
+    )
+    p_top.add_argument(
+        "--url", default=None,
+        help="base URL of a running rit serve --metrics-port endpoint",
+    )
+    p_top.add_argument(
+        "--trace", default=None,
+        help="recorded service trace JSONL to render instead of polling",
+    )
+    p_top.add_argument(
+        "--interval", type=float, default=2.0,
+        help="seconds between polls (with --url)",
+    )
+    p_top.add_argument(
+        "--iterations", type=int, default=0,
+        help="stop after this many renders (0 = until drained)",
+    )
+    p_top.add_argument(
+        "--once", action="store_true", help="render a single table and exit"
     )
 
     p_load = sub.add_parser(
@@ -695,7 +734,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         tracer=tracer,
         ledger=ledger,
     )
-    report = service.serve_stream(events)
+    if args.probe_metrics and args.metrics_port is None:
+        print("rit serve: --probe-metrics requires --metrics-port")
+        return 2
+    if args.metrics_port is None:
+        report = service.serve_stream(events)
+        probe_problems: List[str] = []
+    else:
+        report, probe_problems = _serve_with_metrics(service, events, args)
 
     print(f"run {run_id}: users={users}  |J|={scenario.job.size}  "
           f"stream={len(events)} events")
@@ -735,7 +781,88 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         return 1
     print(f"\ndifferential check OK: {len(report.epochs)} epochs "
           "bit-identical to the offline RIT.run anchor")
+    if probe_problems:
+        print(f"\nmetrics probe FAILED ({len(probe_problems)} problems):")
+        for problem in probe_problems:
+            print(f"  {problem}")
+        return 1
+    if args.probe_metrics:
+        print("metrics probe OK: /metrics round-trips, probes answered")
     return 0
+
+
+def _serve_with_metrics(service, events, args) -> Tuple[Any, List[str]]:
+    """Drain the stream with the HTTP telemetry plane up, then self-probe.
+
+    The endpoint stays bound after the drain so ``--probe-metrics`` (and
+    any watching ``rit top``) reads the final state over real TCP before
+    shutdown; by then ``/readyz`` must report the drained phase.
+    """
+    import asyncio
+    import json as _json
+
+    from repro.obs.openmetrics import parse_openmetrics
+    from repro.service.http import MetricsServer, http_get
+
+    async def _main():
+        server = MetricsServer(
+            service, host=args.metrics_host, port=args.metrics_port
+        )
+        await server.start()
+        print(f"metrics endpoint: {server.url('/metrics')}")
+        problems: List[str] = []
+        try:
+            producer = asyncio.ensure_future(service.produce(events))
+            try:
+                report = await service.serve()
+            finally:
+                if not producer.done():
+                    producer.cancel()
+                try:
+                    await producer
+                except asyncio.CancelledError:
+                    pass
+            if args.probe_metrics:
+                status, text = await http_get(server.host, server.port, "/metrics")
+                if status != 200:
+                    problems.append(f"/metrics answered {status}")
+                else:
+                    try:
+                        families = parse_openmetrics(text)
+                        if not families:
+                            problems.append("/metrics exposed no families")
+                    except ValueError as err:
+                        problems.append(f"/metrics failed the parser: {err}")
+                status, text = await http_get(server.host, server.port, "/healthz")
+                if status != 200 or _json.loads(text).get("status") != "ok":
+                    problems.append(f"/healthz answered {status}: {text}")
+                status, text = await http_get(server.host, server.port, "/readyz")
+                if _json.loads(text).get("phase") != "drained":
+                    problems.append(f"/readyz phase not drained: {text}")
+                status, text = await http_get(server.host, server.port, "/epochs")
+                frames = _json.loads(text).get("frames", [])
+                if status != 200 or len(frames) != len(report.epochs):
+                    problems.append(
+                        f"/epochs answered {status} with {len(frames)} frames, "
+                        f"want {len(report.epochs)}"
+                    )
+        finally:
+            await server.stop()
+        return report, problems
+
+    return asyncio.run(_main())
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from repro.service.top import run_top
+
+    return run_top(
+        url=args.url,
+        trace=args.trace,
+        interval=args.interval,
+        iterations=args.iterations,
+        once=args.once,
+    )
 
 
 def _cmd_loadgen(args: argparse.Namespace) -> int:
@@ -758,6 +885,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         shard_workers=not args.no_shard,
         min_events=min_events,
     )
+    slo = section.pop("slo")
     events = section["events"]
     latency = section["epoch_latency_seconds"]
     print(f"stream: {events['generated']} events generated, "
@@ -774,6 +902,13 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
           f"p95 {latency['p95'] * 1000:.1f} ms")
     print(f"queue: highwater {section['queue']['highwater']}"
           f"/{section['queue']['capacity']}")
+    for label, key in (("ingest", "ingest"), ("epoch", "epoch"),
+                       ("shard", "shard")):
+        block = slo[key]
+        print(f"slo {label}: p50 {block['p50'] * 1000:.2f} ms  "
+              f"p95 {block['p95'] * 1000:.2f} ms  "
+              f"p99 {block['p99'] * 1000:.2f} ms  "
+              f"(n={block['count']})")
     if args.bench:
         try:
             with open(args.out, "r", encoding="utf-8") as handle:
@@ -781,14 +916,28 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         except FileNotFoundError:
             doc = {}
         doc["service"] = section
-        errors = validate_bench_schema(doc) if "schema_version" in doc else []
+        doc["service_slo"] = slo
+        if "schema_version" in doc:
+            errors = validate_bench_schema(doc)
+        else:
+            # Fresh doc without the scaling-bench envelope: still gate the
+            # two sections this command writes.
+            from repro.devtools.bench import (
+                _validate_service_section,
+                _validate_service_slo_section,
+            )
+
+            errors = [
+                *_validate_service_section(section),
+                *_validate_service_slo_section(slo),
+            ]
         if errors:
             print(f"refusing to write {args.out}: merged doc is invalid:")
             for error in errors:
                 print(f"  {error}")
             return 1
         write_bench(doc, args.out)
-        print(f"service section merged -> {args.out}")
+        print(f"service + service_slo sections merged -> {args.out}")
     return 0
 
 
@@ -816,6 +965,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "bench": _cmd_bench,
         "trace": _cmd_trace,
         "serve": _cmd_serve,
+        "top": _cmd_top,
         "loadgen": _cmd_loadgen,
         "lint": _cmd_lint,
         "analyze": _cmd_analyze,

@@ -365,6 +365,8 @@ def validate_bench_schema(doc: Any) -> List[str]:
         errors.extend(_validate_scenarios_section(doc["scenarios"]))
     if "service" in doc:
         errors.extend(_validate_service_section(doc["service"]))
+    if "service_slo" in doc:
+        errors.extend(_validate_service_slo_section(doc["service_slo"]))
     if "analysis" in doc:
         errors.extend(_validate_analysis_section(doc["analysis"]))
     return errors
@@ -535,6 +537,49 @@ def _validate_service_section(section: Any) -> List[str]:
             )
     if not isinstance(section.get("config"), dict):
         errors.append("service.config is not an object")
+    return errors
+
+
+def _validate_service_slo_section(section: Any) -> List[str]:
+    """Schema of the ``service_slo`` section (``rit loadgen --bench``).
+
+    The section is the telemetry plane's histogram summaries
+    (:meth:`repro.service.telemetry.ServiceTelemetry.slo_summary`): one
+    ``{count, sum, min, max, p50, p95, p99}`` block per instrumented
+    distribution.  Quantiles must be ordered and bounded by the exact
+    extremes — a violation means the histogram arithmetic regressed, not
+    that the service got slow.
+    """
+    errors: List[str] = []
+    if not isinstance(section, dict):
+        return ["service_slo is not an object"]
+    for key in ("epochs_closed", "shards_run"):
+        value = section.get(key)
+        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+            errors.append(f"service_slo.{key} must be a non-negative int")
+    for block_name in ("ingest", "epoch", "shard", "queue_depth", "batch_events"):
+        block = section.get(block_name)
+        where = f"service_slo.{block_name}"
+        if not isinstance(block, dict):
+            errors.append(f"{where} is not an object")
+            continue
+        count = block.get("count")
+        if not isinstance(count, int) or isinstance(count, bool) or count < 0:
+            errors.append(f"{where}.count must be a non-negative int")
+            continue
+        bad_stat = False
+        for stat in ("sum", "min", "max", "p50", "p95", "p99"):
+            value = block.get(stat)
+            if not isinstance(value, float) or value < 0.0:
+                errors.append(f"{where}.{stat} must be a non-negative float")
+                bad_stat = True
+        if bad_stat or count == 0:
+            continue
+        if not block["min"] <= block["p50"] <= block["p95"] <= block["p99"] <= block["max"]:
+            errors.append(
+                f"{where} quantiles must be ordered: "
+                "min <= p50 <= p95 <= p99 <= max"
+            )
     return errors
 
 

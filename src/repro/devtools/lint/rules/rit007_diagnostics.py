@@ -1,4 +1,4 @@
-"""RIT007 — raw diagnostics (``time.*`` / ``print``) in instrumented modules.
+"""RIT007 — raw diagnostics and ad-hoc buckets in instrumented modules.
 
 The modules instrumented by :mod:`repro.obs` read time exclusively
 through the tracer's injected clock (``tracer.clock`` /
@@ -9,8 +9,21 @@ and untraced runs would measure different things; a bare ``print(`` is a
 diagnostic that escapes the event sink entirely and cannot be replayed or
 diffed.  Both must go through the tracer.
 
+Instrumented modules also must not invent histogram bucket boundaries.
+The telemetry plane's determinism contract (bit-identical snapshots,
+mergeable across shard workers) holds only because every histogram uses
+the fixed boundaries registered in :mod:`repro.obs.metrics`
+(``BUCKET_FAMILIES`` / ``bucket_boundaries``).  A locally computed grid
+(``np.logspace`` / ``np.geomspace``) or a literal list assigned to a
+``*bucket*`` / ``*boundar*`` name silently forks the exposition format
+and breaks cross-run comparability, so both are flagged here.
+
 The scope is the instrumented set, module by module (not whole packages):
-uninstrumented modules keep the looser RIT005 contract.
+uninstrumented modules keep the looser RIT005 contract.  Note what is
+deliberately *outside* the scope: ``repro.service.loadgen`` wraps the
+whole service run with ``time.perf_counter`` (a bench harness, not a
+traced path) and ``repro.service.top`` is an interactive terminal client
+that legitimately sleeps between polls.
 """
 
 from __future__ import annotations
@@ -25,14 +38,41 @@ from repro.devtools.lint.rules.base import Rule
 
 __all__ = ["RawDiagnostics"]
 
+#: Fully-qualified callables that mint a bucket grid on the spot.
+_BUCKET_FACTORIES = frozenset({"numpy.logspace", "numpy.geomspace"})
+
+
+def _is_numeric_sequence(node: ast.AST) -> bool:
+    """True for a non-empty list/tuple literal of numeric constants."""
+    if not isinstance(node, (ast.List, ast.Tuple)) or not node.elts:
+        return False
+    for elt in node.elts:
+        if isinstance(elt, ast.UnaryOp) and isinstance(
+            elt.op, (ast.UAdd, ast.USub)
+        ):
+            elt = elt.operand
+        if not (
+            isinstance(elt, ast.Constant)
+            and isinstance(elt.value, (int, float))
+            and not isinstance(elt.value, bool)
+        ):
+            return False
+    return True
+
+
+def _bucketish(name: str) -> bool:
+    lowered = name.lower()
+    return "bucket" in lowered or "boundar" in lowered
+
 
 class RawDiagnostics(Rule):
     id = "RIT007"
     name = "untraced-diagnostics"
     rationale = (
         "instrumented modules must read time via the tracer's injected "
-        "clock and emit diagnostics via spans/counters, never time.* or "
-        "print()"
+        "clock, emit diagnostics via spans/counters (never time.* or "
+        "print()), and take histogram boundaries from the "
+        "repro.obs.metrics registry"
     )
     scopes = (
         "repro.core.rit",
@@ -43,6 +83,11 @@ class RawDiagnostics(Rule):
         "repro.simulation.runner",
         "repro.simulation.parallel",
         "repro.simulation.report",
+        "repro.service.frontend",
+        "repro.service.epochs",
+        "repro.service.workers",
+        "repro.service.service",
+        "repro.service.telemetry",
     )
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
@@ -53,6 +98,43 @@ class RawDiagnostics(Rule):
         self, ctx: FileContext, node: ast.AST, imports: ImportMap
     ) -> Iterator[Finding]:
         for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.Assign, ast.AnnAssign)):
+                targets = (
+                    child.targets
+                    if isinstance(child, ast.Assign)
+                    else [child.target]
+                )
+                names = [
+                    t.id if isinstance(t, ast.Name) else t.attr
+                    for t in targets
+                    if isinstance(t, (ast.Name, ast.Attribute))
+                ]
+                if (
+                    child.value is not None
+                    and any(_bucketish(n) for n in names)
+                    and _is_numeric_sequence(child.value)
+                ):
+                    yield self.finding(
+                        ctx,
+                        child,
+                        "ad-hoc histogram bucket literal; boundaries must "
+                        "come from the repro.obs.metrics registry "
+                        "(bucket_boundaries / BUCKET_FAMILIES) so "
+                        "snapshots stay mergeable and bit-comparable",
+                    )
+            if isinstance(child, ast.Call) and isinstance(
+                child.func, (ast.Attribute, ast.Name)
+            ):
+                resolved_call = imports.resolve(child.func)
+                if resolved_call in _BUCKET_FACTORIES:
+                    yield self.finding(
+                        ctx,
+                        child,
+                        f"'{resolved_call}' mints an ad-hoc bucket grid; "
+                        "use repro.obs.metrics.bucket_boundaries / "
+                        "new_histogram so every emitter shares the fixed "
+                        "registered boundaries",
+                    )
             if (
                 isinstance(child, ast.Call)
                 and isinstance(child.func, ast.Name)

@@ -16,6 +16,10 @@ Checks performed:
 * well-formed counters: cataloged names (:mod:`repro.obs.catalog`),
   legal units, per-counter running ``value`` consistent with the
   ``delta`` sequence, owning span open at emission time;
+* well-formed distributions: cataloged metric names
+  (:mod:`repro.obs.metrics`), units and volatility flags matching the
+  spec, histogram bucket indices recomputed against the registry's fixed
+  boundaries, owning span open at emission time;
 * merge tags: ``rep`` / ``w`` are non-negative integers when present.
 """
 
@@ -27,11 +31,13 @@ from typing import Any, Dict, Iterable, List, Mapping, Sequence, Set
 from repro.obs.catalog import describe_counter
 from repro.obs.events import (
     COUNTER_UNITS,
+    DISTRIBUTION_UNITS,
     EVENT_KINDS,
     SPAN_LEVELS,
     TRACE_SCHEMA_VERSION,
     read_jsonl,
 )
+from repro.obs.metrics import bucket_boundaries, bucket_index, describe_metric
 
 __all__ = [
     "validate_trace_events",
@@ -162,8 +168,74 @@ def validate_trace_events(events: Sequence[Mapping[str, Any]]) -> List[str]:
                     f"{where}: counter {name!r} owned by span {owner!r}, "
                     "which is not open here"
                 )
+        elif kind == "distribution":
+            problems.extend(_check_distribution(event, where, stack))
     if stack:
         problems.append(f"unclosed spans at end of trace: {stack}")
+    return problems
+
+
+def _check_distribution(
+    event: Mapping[str, Any], where: str, stack: Sequence[int]
+) -> List[str]:
+    """Schema checks for one ``distribution`` event.
+
+    The metric catalog (:mod:`repro.obs.metrics`) is the contract: the
+    name must resolve, the unit must match the spec, the volatility flag
+    must match, and — for histograms — the recorded ``bucket`` must equal
+    a recomputation of ``bucket_index`` against the family's fixed
+    boundaries, pinning the bit-reproducible bucketing end to end.
+    """
+    problems: List[str] = []
+    name = event.get("name")
+    unit = event.get("unit")
+    if not isinstance(name, str):
+        return [f"{where}: distribution name must be a string"]
+    if unit not in DISTRIBUTION_UNITS:
+        problems.append(
+            f"{where}: distribution unit {unit!r} not in {DISTRIBUTION_UNITS}"
+        )
+    spec = describe_metric(name)
+    if spec is None:
+        problems.append(f"{where}: metric {name!r} is not cataloged")
+        return problems
+    if spec.unit != unit:
+        problems.append(
+            f"{where}: metric {name!r} unit {unit!r} != cataloged {spec.unit!r}"
+        )
+    if bool(event.get("vol", False)) != spec.volatile:
+        problems.append(
+            f"{where}: metric {name!r} volatility flag "
+            f"{event.get('vol', False)!r} != cataloged {spec.volatile!r}"
+        )
+    value = event.get("value")
+    if not isinstance(value, Number):
+        problems.append(f"{where}: distribution value must be a number")
+        return problems
+    bucket = event.get("bucket")
+    if spec.kind == "histogram" and spec.family is not None:
+        if not _is_int(bucket):
+            problems.append(
+                f"{where}: histogram metric {name!r} must carry an int bucket"
+            )
+        else:
+            expected = bucket_index(bucket_boundaries(spec.family), value)
+            if bucket != expected:
+                problems.append(
+                    f"{where}: metric {name!r} bucket {bucket} != "
+                    f"recomputed {expected} for value {value!r}"
+                )
+    elif bucket is not None:
+        problems.append(f"{where}: gauge metric {name!r} must not carry a bucket")
+    epoch = event.get("epoch")
+    if epoch is not None and (not _is_int(epoch) or epoch < 0):
+        problems.append(f"{where}: 'epoch' must be a non-negative int")
+    owner = event.get("span")
+    if owner is not None and owner not in stack:
+        problems.append(
+            f"{where}: distribution {name!r} owned by span {owner!r}, "
+            "which is not open here"
+        )
     return problems
 
 

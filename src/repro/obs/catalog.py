@@ -11,7 +11,12 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Tuple
 
-__all__ = ["COUNTER_CATALOG", "COUNTER_FAMILIES", "describe_counter"]
+__all__ = [
+    "COUNTER_CATALOG",
+    "COUNTER_FAMILIES",
+    "catalog_markdown_table",
+    "describe_counter",
+]
 
 #: Exact counter names → (unit, description).
 COUNTER_CATALOG: Dict[str, Tuple[str, str]] = {
@@ -69,6 +74,26 @@ COUNTER_CATALOG: Dict[str, Tuple[str, str]] = {
 COUNTER_FAMILIES: Dict[str, Tuple[str, str]] = {
     "figure_seconds/": ("seconds", "per-figure render time in report generation"),
 }
+
+
+def catalog_markdown_table() -> str:
+    """The counter table committed in ``docs/observability.md``, generated.
+
+    The doc embeds this function's exact output between the
+    ``<!-- COUNTER_CATALOG:begin -->`` / ``:end`` markers, and the
+    catalog-drift self-gate (``tests/obs/test_catalog_gate.py``)
+    regenerates it on every run — a counter added to the catalog without
+    refreshing the doc (or vice versa) fails the suite instead of rotting
+    silently.
+    """
+    lines = ["| counter | unit | meaning |", "|---|---|---|"]
+    for name, (unit, description) in COUNTER_CATALOG.items():
+        lines.append(f"| `{name}` | {unit} | {description} |")
+    for prefix, (unit, description) in COUNTER_FAMILIES.items():
+        lines.append(
+            f"| `{prefix}*` | {unit} | {description} (family prefix) |"
+        )
+    return "\n".join(lines)
 
 
 def describe_counter(name: str) -> Optional[Tuple[str, str]]:

@@ -19,6 +19,12 @@ serialized — JSONL).  Every event carries:
       :data:`SPAN_LEVELS`.
     * ``"counter"`` — a monotonic counter increment (``name``, ``unit``,
       ``delta``, running ``value``, owning ``span``).
+    * ``"distribution"`` — one histogram/gauge observation (``name``,
+      ``unit``, ``value``, owning ``span``; histograms add the ``bucket``
+      index computed from the metric's fixed boundaries, service metrics
+      add the owning ``epoch`` index, and volatile metrics carry
+      ``vol: true``).  The metric contract lives in
+      :mod:`repro.obs.metrics`.
 ``t``
     Seconds since the trace's monotonic epoch.  Timestamps are the only
     intrinsically non-reproducible field; they are stripped by
@@ -48,6 +54,7 @@ __all__ = [
     "EVENT_KINDS",
     "SPAN_LEVELS",
     "COUNTER_UNITS",
+    "DISTRIBUTION_UNITS",
     "config_hash",
     "canonical_events",
     "write_jsonl",
@@ -58,7 +65,7 @@ __all__ = [
 TRACE_SCHEMA_VERSION = 1
 
 #: Every legal value of the ``ev`` field.
-EVENT_KINDS = ("trace", "span_start", "span_end", "counter")
+EVENT_KINDS = ("trace", "span_start", "span_end", "counter", "distribution")
 
 #: The span hierarchy emitted by the instrumented mechanism stack, outer to
 #: inner.  Other span names (``payments``, ``attack`` …) may appear; these
@@ -72,6 +79,12 @@ SPAN_LEVELS = ("run", "mechanism", "cra", "round")
 #: canonical stream.
 COUNTER_UNITS = ("count", "seconds", "bytes")
 
+#: Legal values of a distribution event's ``unit`` field.  ``"ratio"``
+#: covers the per-epoch gauges (win rates, mean referral depth); the
+#: metric catalog (:mod:`repro.obs.metrics`) decides per-name whether
+#: observed values are volatile (measured) or canonical.
+DISTRIBUTION_UNITS = ("count", "seconds", "bytes", "ratio")
+
 
 def config_hash(config: Mapping[str, Any]) -> str:
     """Stable short hash of a (JSON-serializable) run configuration."""
@@ -82,16 +95,22 @@ def config_hash(config: Mapping[str, Any]) -> str:
 def canonical_events(events: Iterable[Mapping[str, Any]]) -> List[Dict[str, Any]]:
     """The reproducible view of an event stream.
 
-    Drops every ``t`` timestamp and the ``delta``/``value`` fields of
-    ``"seconds"``-unit counters (measured durations).  Two runs with the
-    same seed and configuration must agree on this view exactly.
+    Drops every ``t`` timestamp, the ``delta``/``value`` fields of
+    ``"seconds"``-unit counters, and the ``value``/``bucket`` fields of
+    volatile ``distribution`` events (``vol`` flag, stamped at record
+    time from the metric catalog's volatility contract).  Two runs with
+    the same seed and configuration must agree on this view exactly.
     """
     out: List[Dict[str, Any]] = []
     for event in events:
         reduced = {k: v for k, v in event.items() if k != "t"}
-        if event.get("ev") == "counter" and event.get("unit") == "seconds":
+        kind = event.get("ev")
+        if kind == "counter" and event.get("unit") == "seconds":
             reduced.pop("delta", None)
             reduced.pop("value", None)
+        elif kind == "distribution" and event.get("vol"):
+            reduced.pop("value", None)
+            reduced.pop("bucket", None)
         out.append(reduced)
     return out
 

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from typing import Any, Dict, Iterable, List, Mapping, Optional
 
+from repro.obs.catalog import describe_counter
+
 __all__ = ["render_span_tree", "format_prometheus", "format_metrics_json"]
 
 
@@ -88,23 +90,40 @@ def render_span_tree(
     return "\n".join(lines)
 
 
-def _prometheus_name(name: str) -> str:
+def _prometheus_name(name: str, unit: str) -> str:
+    """``rit_``-prefixed, cleaned, unit-suffixed metric family name.
+
+    The ``_seconds`` / ``_bytes`` suffix comes from the counter catalog's
+    unit, never from the caller — and is skipped when the catalog name
+    already bakes it in (``stage_seconds/…`` ends mid-name, so those do
+    gain a trailing ``_seconds`` per the Prometheus naming convention).
+    """
     cleaned = "".join(c if c.isalnum() else "_" for c in name)
-    return f"rit_{cleaned}"
+    metric = f"rit_{cleaned}"
+    if unit in ("seconds", "bytes") and not metric.endswith(f"_{unit}"):
+        metric = f"{metric}_{unit}"
+    return metric
 
 
 def format_prometheus(snapshot: Mapping[str, Mapping[str, Any]]) -> str:
     """Prometheus text exposition of a counter snapshot.
 
-    ``"count"`` counters export as monotonic ``counter`` metrics,
+    Every metric gets ``# HELP`` (description from the counter catalog)
+    and ``# TYPE`` lines.  ``"count"`` and ``"bytes"`` counters export as
+    monotonic ``counter`` metrics (with the ``_total`` sample suffix),
     ``"seconds"`` counters as ``gauge`` (they reset per run).
     """
     lines: List[str] = []
     for name, entry in snapshot.items():
-        metric = _prometheus_name(name)
-        kind = "counter" if entry["unit"] == "count" else "gauge"
+        unit = str(entry["unit"])
+        metric = _prometheus_name(name, unit)
+        spec = describe_counter(name)
+        help_text = spec[1] if spec is not None else name
+        kind = "counter" if unit in ("count", "bytes") else "gauge"
+        lines.append(f"# HELP {metric} {help_text}")
         lines.append(f"# TYPE {metric} {kind}")
-        lines.append(f"{metric} {entry['value']}")
+        sample = f"{metric}_total" if kind == "counter" else metric
+        lines.append(f"{sample} {entry['value']}")
     return "\n".join(lines) + ("\n" if lines else "")
 
 

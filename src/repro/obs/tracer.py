@@ -35,6 +35,7 @@ from repro.obs.events import (
     config_hash,
     write_jsonl,
 )
+from repro.obs.metrics import bucket_boundaries, bucket_index, describe_metric
 from repro.obs.timers import Clock
 
 __all__ = ["NullTracer", "Tracer", "NULL_TRACER"]
@@ -101,6 +102,11 @@ class NullTracer:
         pass
 
     def count(self, name: str, delta: Any = 1, *, unit: str = "count") -> None:
+        pass
+
+    def observe(
+        self, name: str, value: Any, *, epoch: Optional[int] = None
+    ) -> None:
         pass
 
     def value(self, name: str, default: Any = 0) -> Any:
@@ -267,6 +273,37 @@ class Tracer(NullTracer):
             }
         )
 
+    def observe(
+        self, name: str, value: Any, *, epoch: Optional[int] = None
+    ) -> None:
+        """Record one histogram/gauge observation as a distribution event.
+
+        ``name`` must resolve in the metric catalog
+        (:mod:`repro.obs.metrics`): the spec supplies the unit, the fixed
+        bucket boundaries (histograms only) and the volatility flag.
+        Bucket indices are computed here, at record time, so merged worker
+        streams stay bit-identical however they are absorbed.
+        """
+        spec = describe_metric(name)
+        if spec is None:
+            raise ValueError(f"metric {name!r} is not in METRIC_CATALOG")
+        event: Dict[str, Any] = {
+            "i": len(self.events),
+            "ev": "distribution",
+            "t": self._now(),
+            "name": name,
+            "unit": spec.unit,
+            "value": value,
+            "span": self._stack[-1] if self._stack else None,
+        }
+        if spec.family is not None:
+            event["bucket"] = bucket_index(bucket_boundaries(spec.family), value)
+        if epoch is not None:
+            event["epoch"] = epoch
+        if spec.volatile:
+            event["vol"] = True
+        self.events.append(event)
+
     def value(self, name: str, default: Any = 0) -> Any:
         """Current running total of a counter."""
         return self._counters.get(name, default)
@@ -341,6 +378,14 @@ class Tracer(NullTracer):
                 value = self._counters[name] + merged["delta"]
                 self._counters[name] = value
                 merged["value"] = value
+                old_span = merged.get("span")
+                merged["span"] = (
+                    ambient_parent if old_span is None else id_map[int(old_span)]
+                )
+            elif kind == "distribution":
+                # Bucket indices were computed in the child against the
+                # shared fixed boundaries; only the owning span needs
+                # remapping into this tracer's id space.
                 old_span = merged.get("span")
                 merged["span"] = (
                     ambient_parent if old_span is None else id_map[int(old_span)]

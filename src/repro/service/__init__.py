@@ -45,7 +45,10 @@ from repro.service.service import (
     ServiceConfig,
     ServiceReport,
 )
+from repro.service.http import MetricsServer, http_get
 from repro.service.state import ServiceState
+from repro.service.telemetry import WIN_RATE_DEPTH_CAP, ServiceTelemetry, epoch_gauges
+from repro.service.top import frames_from_trace, render_frames, run_top
 from repro.service.workers import run_epoch
 
 __all__ = [
@@ -66,6 +69,14 @@ __all__ = [
     "IngestFrontend",
     "OutcomeLedger",
     "canonical_outcome",
+    "ServiceTelemetry",
+    "WIN_RATE_DEPTH_CAP",
+    "epoch_gauges",
+    "MetricsServer",
+    "http_get",
+    "frames_from_trace",
+    "render_frames",
+    "run_top",
     "run_epoch",
     "ServiceConfig",
     "EpochResult",

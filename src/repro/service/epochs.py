@@ -211,6 +211,15 @@ class EpochPipeline:
             return None
         return self._snapshot(closed)
 
+    def status(self) -> Dict[str, int]:
+        """Progress snapshot for the ``/readyz`` probe (all plain ints)."""
+        return {
+            "pending_events": self.accumulator.pending_count,
+            "next_epoch": self.accumulator.next_index,
+            "participants": self.state.num_participants,
+            "pending_referrals": self.state.num_pending_referrals,
+        }
+
     def _snapshot(self, batch: EpochBatch) -> EpochSnapshot:
         return EpochSnapshot(
             batch=batch,

@@ -15,6 +15,12 @@ Two admission modes, both counted on the tracer and never silent:
 Structural validation (:func:`repro.service.events.validate_event`) runs
 at the frontend, before an event can occupy queue space; stateful
 admission happens downstream in :class:`repro.service.state.ServiceState`.
+
+When a :class:`~repro.service.telemetry.ServiceTelemetry` plane is
+attached, every successful admission records its latency
+(``ingest_admit_seconds``, measured on the tracer's clock) and samples
+the queue occupancy (``ingest_queue_depth``); a recording tracer mirrors
+both as volatile ``distribution`` events.
 """
 
 from __future__ import annotations
@@ -26,6 +32,7 @@ from repro.core.exceptions import ConfigurationError
 from repro.core.types import Job
 from repro.obs.tracer import NULL_TRACER, NullTracer
 from repro.service.events import ServiceEvent, validate_event
+from repro.service.telemetry import ServiceTelemetry
 
 __all__ = ["IngestFrontend"]
 
@@ -42,12 +49,14 @@ class IngestFrontend:
         *,
         maxsize: int = 1024,
         tracer: Optional[NullTracer] = None,
+        telemetry: Optional[ServiceTelemetry] = None,
     ) -> None:
         if maxsize <= 0:
             raise ConfigurationError(f"queue maxsize must be positive, got {maxsize}")
         self.job = job
         self.maxsize = maxsize
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.telemetry = telemetry
         self._queue: "asyncio.Queue[Optional[ServiceEvent]]" = asyncio.Queue(maxsize)
         self.offered = 0
         self.accepted = 0
@@ -83,9 +92,27 @@ class IngestFrontend:
             self.highwater = depth
         if self.tracer.enabled:
             self.tracer.count("service_events_accepted")
+        if self.telemetry is not None:
+            self.telemetry.observe_queue_depth(depth)
+        if self.tracer.enabled:
+            self.tracer.observe("ingest_queue_depth", depth)
+
+    def _observe_admit(self, t_start: float) -> None:
+        """Record one completed admission (validate + enqueue) latency."""
+        seconds = self.tracer.clock() - t_start
+        if self.telemetry is not None:
+            self.telemetry.observe_admit(seconds)
+        if self.tracer.enabled:
+            self.tracer.observe("ingest_admit_seconds", seconds)
+
+    @property
+    def _observing(self) -> bool:
+        return self.telemetry is not None or self.tracer.enabled
 
     def offer(self, event: ServiceEvent) -> Optional[str]:
         """Non-blocking admission; returns None or a refusal reason."""
+        observing = self._observing
+        t_start = self.tracer.clock() if observing else 0.0
         reason = self._admit(event)
         if reason is not None:
             return reason
@@ -97,19 +124,27 @@ class IngestFrontend:
                 self.tracer.count("service_events_rejected")
             return "backpressure"
         self._note_enqueued()
+        if observing:
+            self._observe_admit(t_start)
         return None
 
     async def put(self, event: ServiceEvent) -> Optional[str]:
         """Blocking admission: waits for queue space instead of rejecting.
 
         Still refuses structurally invalid events immediately (waiting
-        would not make them valid).
+        would not make them valid).  The admission latency observed here
+        includes the backpressure wait — that *is* the closed-loop
+        producer's experienced latency.
         """
+        observing = self._observing
+        t_start = self.tracer.clock() if observing else 0.0
         reason = self._admit(event)
         if reason is not None:
             return reason
         await self._queue.put(event)
         self._note_enqueued()
+        if observing:
+            self._observe_admit(t_start)
         return None
 
     async def close(self) -> None:

@@ -203,4 +203,8 @@ def run_service_bench(
             "capacity": queue_size,
             "highwater": report.queue_highwater,
         },
+        # The telemetry plane's fixed-boundary histogram summaries; the
+        # CLI splits this off into the bench doc's ``service_slo``
+        # section (schema-validated separately).
+        "slo": service.telemetry.slo_summary(),
     }

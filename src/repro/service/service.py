@@ -40,6 +40,7 @@ from repro.service.epochs import (
 from repro.service.events import ServiceEvent
 from repro.service.frontend import IngestFrontend
 from repro.service.ledger import OutcomeLedger
+from repro.service.telemetry import ServiceTelemetry
 from repro.service.workers import run_epoch
 
 __all__ = ["ServiceConfig", "EpochResult", "ServiceReport", "MechanismService"]
@@ -103,6 +104,7 @@ class MechanismService:
         *,
         tracer: Optional[NullTracer] = None,
         ledger: Optional[OutcomeLedger] = None,
+        telemetry: Optional[ServiceTelemetry] = None,
     ) -> None:
         if mechanism.rng_policy != "per-type":
             raise ConfigurationError(
@@ -115,9 +117,16 @@ class MechanismService:
         self.mechanism = mechanism.with_tracer(self.tracer)
         self.job = job
         self.ledger = ledger
+        self.telemetry = telemetry if telemetry is not None else ServiceTelemetry()
         self.frontend = IngestFrontend(
-            job, maxsize=self.config.queue_size, tracer=self.tracer
+            job,
+            maxsize=self.config.queue_size,
+            tracer=self.tracer,
+            telemetry=self.telemetry,
         )
+        #: The live pipeline of the current :meth:`serve` call (exposed so
+        #: the HTTP probes can report batching/state progress).
+        self.pipeline: Optional[EpochPipeline] = None
 
     # ------------------------------------------------------------------ #
     # Consumer loop
@@ -131,6 +140,9 @@ class MechanismService:
         config = self.config
         report = ServiceReport()
         pipeline = EpochPipeline(self.job, config.policy())
+        self.pipeline = pipeline
+        telemetry = self.telemetry
+        telemetry.phase = "serving"
         service_sid = -1
         if tracing:
             service_sid = tracer.begin(
@@ -157,10 +169,12 @@ class MechanismService:
                 refused, snapshots = pipeline.step(event)
                 if refused is None:
                     report.applied += 1
+                    telemetry.events_applied += 1
                     if tracing:
                         tracer.count("service_events_applied")
                 else:
                     report.refused += 1
+                    telemetry.events_refused += 1
                     report.refusal_reasons[refused] = (
                         report.refusal_reasons.get(refused, 0) + 1
                     )
@@ -173,6 +187,7 @@ class MechanismService:
                 await self._execute(tail, report, executor, clock)
         finally:
             executor.shutdown(wait=True)
+            telemetry.phase = "drained"
             if tracing:
                 tracer.end(service_sid)
         report.offered = self.frontend.offered
@@ -197,15 +212,35 @@ class MechanismService:
             epoch_seed(self.config.seed, snapshot.batch.index),
             executor=executor,
             shard_workers=self.config.shard_workers,
+            telemetry=self.telemetry,
         )
         latency = clock() - t_start
         if self.ledger is not None:
             await asyncio.get_running_loop().run_in_executor(
                 executor, self.ledger.append, snapshot.batch, outcome
             )
+        index = snapshot.batch.index
+        frame = self.telemetry.close_epoch(
+            index=index,
+            batch_events=snapshot.batch.num_events,
+            users=len(snapshot.asks),
+            latency_seconds=latency,
+            outcome=outcome,
+            tree=snapshot.tree,
+        )
+        if self.tracer.enabled:
+            # Mirror the frame into the trace: the measured latencies are
+            # volatile, the gauge surface is canonical (a pure function of
+            # the seeded outcome) and emitted in its name-sorted order.
+            self.tracer.observe("epoch_close_to_outcome_seconds", latency, epoch=index)
+            self.tracer.observe(
+                "epoch_batch_events", snapshot.batch.num_events, epoch=index
+            )
+            for name, value in frame["gauges"].items():
+                self.tracer.observe(name, value, epoch=index)
         report.epochs.append(
             EpochResult(
-                index=snapshot.batch.index,
+                index=index,
                 batch_events=snapshot.batch.num_events,
                 users=len(snapshot.asks),
                 latency_seconds=latency,

@@ -37,6 +37,7 @@ from repro.core.rng import as_generator, spawn_seeds
 from repro.core.types import Job
 from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
 from repro.service.epochs import EpochSnapshot
+from repro.service.telemetry import ServiceTelemetry
 
 __all__ = ["run_epoch"]
 
@@ -51,19 +52,27 @@ def _run_shard(
     seed: np.random.SeedSequence,
     shard_tracer: NullTracer,
     timers: Optional[StageTimers],
-) -> TypeShardResult:
-    """Thread-pool body: one type's CRA loop against a private sink."""
+) -> Tuple[TypeShardResult, float]:
+    """Thread-pool body: one type's CRA loop against a private sink.
+
+    Returns the shard result plus its wall time on this worker (measured
+    on the tracer's clock).  The duration is *observed* back on the event
+    loop when the future is awaited, keeping the telemetry plane
+    single-writer.
+    """
     shard_mech = mechanism.with_tracer(shard_tracer)
     sid = -1
+    t_start = shard_tracer.clock()
     if shard_tracer.enabled:
         sid = shard_tracer.begin("shard", task_type=int(tau), m_i=m_i)
     try:
-        return shard_mech.run_type_shard(
+        result = shard_mech.run_type_shard(
             tau, m_i, pool, k_max, num_types, as_generator(seed), timers=timers
         )
     finally:
         if shard_tracer.enabled:
             shard_tracer.end(sid)
+    return result, shard_tracer.clock() - t_start
 
 
 async def run_epoch(
@@ -74,6 +83,7 @@ async def run_epoch(
     *,
     executor: ThreadPoolExecutor,
     shard_workers: bool = True,
+    telemetry: Optional[ServiceTelemetry] = None,
 ) -> MechanismOutcome:
     """Execute one epoch's auction over a frozen snapshot.
 
@@ -112,7 +122,12 @@ async def run_epoch(
         asks = snapshot.asks
         gen = as_generator(seed)
         pending: List[
-            Tuple[int, NullTracer, Optional[StageTimers], "asyncio.Future[TypeShardResult]"]
+            Tuple[
+                int,
+                NullTracer,
+                Optional[StageTimers],
+                "asyncio.Future[Tuple[TypeShardResult, float]]",
+            ]
         ] = []
         store: Optional[ColumnarStore] = None
         if asks:
@@ -182,12 +197,18 @@ async def run_epoch(
         # concurrent, but the merged trace and the shard list are built
         # deterministically regardless of completion order.
         for tau, shard_tracer, timers, future in pending:
-            shards.append(await future)
+            shard_result, shard_seconds = await future
+            shards.append(shard_result)
+            if telemetry is not None:
+                telemetry.observe_shard(shard_seconds)
             if tracing:
                 tracer.absorb(
                     shard_tracer.events, rep=snapshot.batch.index, worker=tau
                 )
                 tracer.count("service_shards_run")
+                tracer.observe(
+                    "shard_run_seconds", shard_seconds, epoch=snapshot.batch.index
+                )
             if merged_timers is not None and timers is not None:
                 merged_timers.sample += timers.sample
                 merged_timers.consensus += timers.consensus

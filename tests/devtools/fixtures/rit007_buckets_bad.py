@@ -1,0 +1,23 @@
+# rit: module=repro.service.telemetry
+"""RIT007 fixture: ad-hoc histogram buckets in an instrumented module.
+
+The telemetry determinism contract requires every histogram to use the
+fixed boundaries registered in ``repro.obs.metrics``.  Minting a grid
+locally (``np.logspace``) or hard-coding a literal list under a
+``*bucket*``/``*boundar*`` name forks the exposition format.
+"""
+
+import numpy as np
+
+LATENCY_BUCKETS = [0.001, 0.01, 0.1, 1.0]  # expect: RIT007
+
+DEPTH_BOUNDARIES = (1, 2, 4, 8, 16)  # expect: RIT007
+
+
+def shard_grid():
+    boundaries = np.logspace(-6, 2, num=32)  # expect: RIT007
+    return boundaries
+
+
+def queue_grid():
+    return np.geomspace(1.0, 4096.0, num=13)  # expect: RIT007

@@ -1,0 +1,20 @@
+# rit: module=repro.service.telemetry
+"""RIT007 fixture: histogram boundaries from the shared registry.
+
+Boundaries come from ``repro.obs.metrics`` — either indirectly via
+``new_histogram`` (which looks up the metric's registered family) or
+directly via ``bucket_boundaries``.  Non-bucket numeric literals are
+untouched by the rule.
+"""
+
+from repro.obs.metrics import bucket_boundaries, new_histogram
+
+PERCENTILES = (0.5, 0.95, 0.99)
+
+
+def shard_histogram():
+    return new_histogram("shard_run_seconds")
+
+
+def depth_grid():
+    return bucket_boundaries("depth")

@@ -199,6 +199,75 @@ class TestValidateServiceSection:
         assert any("events_per_sec" in e for e in validate_bench_schema(doc))
 
 
+def valid_service_slo_section():
+    block = {
+        "count": 3, "sum": 0.03, "min": 0.001, "max": 0.02,
+        "p50": 0.005, "p95": 0.018, "p99": 0.02,
+    }
+    return {
+        "epochs_closed": 3,
+        "shards_run": 6,
+        "ingest": dict(block),
+        "epoch": dict(block),
+        "shard": dict(block),
+        "queue_depth": dict(block),
+        "batch_events": dict(block),
+    }
+
+
+class TestValidateServiceSloSection:
+    def base_doc(self):
+        doc = run_scaling_bench(**TINY)
+        doc["service"] = valid_service_section()
+        doc["service_slo"] = valid_service_slo_section()
+        return doc
+
+    def test_valid_section_accepted(self):
+        assert validate_bench_schema(self.base_doc()) == []
+
+    def test_real_telemetry_summary_validates(self):
+        # The validator must accept what the live plane actually emits.
+        from repro.service import ServiceTelemetry
+
+        doc = self.base_doc()
+        doc["service_slo"] = ServiceTelemetry().slo_summary()  # degenerate run
+        assert validate_bench_schema(doc) == []
+
+    def test_non_object_rejected(self):
+        doc = self.base_doc()
+        doc["service_slo"] = []
+        assert any("not an object" in e for e in validate_bench_schema(doc))
+
+    def test_negative_counter_flagged(self):
+        doc = self.base_doc()
+        doc["service_slo"]["epochs_closed"] = -1
+        assert any("epochs_closed" in e for e in validate_bench_schema(doc))
+
+    def test_missing_block_flagged(self):
+        doc = self.base_doc()
+        del doc["service_slo"]["queue_depth"]
+        assert any("queue_depth" in e for e in validate_bench_schema(doc))
+
+    def test_missing_quantile_flagged(self):
+        doc = self.base_doc()
+        del doc["service_slo"]["shard"]["p99"]
+        assert any("shard.p99" in e for e in validate_bench_schema(doc))
+
+    def test_unordered_quantiles_flagged(self):
+        doc = self.base_doc()
+        doc["service_slo"]["epoch"]["p95"] = 0.5  # above p99 and max
+        assert any("ordered" in e for e in validate_bench_schema(doc))
+
+    def test_empty_blocks_skip_ordering_check(self):
+        doc = self.base_doc()
+        zero = {
+            "count": 0, "sum": 0.0, "min": 0.0, "max": 0.0,
+            "p50": 0.0, "p95": 0.0, "p99": 0.0,
+        }
+        doc["service_slo"]["ingest"] = zero
+        assert validate_bench_schema(doc) == []
+
+
 def valid_analysis_section():
     return {
         "files_analyzed": 115,
