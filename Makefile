@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test lint analyze typecheck check trace trace-smoke serve serve-smoke metrics-smoke loadgen bench bench-smoke bench-pytest bench-json smoke paper report examples clean
+.PHONY: install test lint analyze typecheck check trace trace-smoke serve serve-smoke metrics-smoke sentinel sentinel-smoke loadgen bench bench-smoke bench-pytest bench-json smoke paper report examples clean
 
 install:
 	pip install -e .
@@ -64,6 +64,17 @@ metrics-smoke:
 		--tasks-per-type 8 --epoch-events 256 --min-events 0 \
 		--bench --out /tmp/rit_metrics_smoke_bench.json
 
+# Live-adversary gate (docs/sentinel.md): three clean pinned scenarios
+# must stay alert-free, each seeded sybil/collusion/churn injection must
+# be flagged within K epochs, every run bit-matches the offline replay.
+# `rit sentinel --bench` merges the section into BENCH_RIT.json.
+sentinel:
+	PYTHONPATH=src $(PY) -m repro sentinel
+
+# CI gate (<10s): one clean scenario + one sybil injection.
+sentinel-smoke:
+	PYTHONPATH=src $(PY) -m repro sentinel --smoke
+
 # Open-loop service throughput/latency (merge into BENCH_RIT.json with
 # `rit loadgen --bench`).
 loadgen:
@@ -72,8 +83,8 @@ loadgen:
 # The full gate new PRs must pass: domain lint + whole-program analysis
 # + types + tier-1 tests + the trace schema smoke + the service
 # differential smoke + the columnar bench schema smoke + the live
-# telemetry endpoint smoke.
-check: lint analyze typecheck test trace-smoke serve-smoke bench-smoke metrics-smoke
+# telemetry endpoint smoke + the live-adversary sentinel smoke.
+check: lint analyze typecheck test trace-smoke serve-smoke bench-smoke metrics-smoke sentinel-smoke
 
 # Fast perf baseline: times the scaling workload on both auction engines
 # and refreshes BENCH_RIT.json (the committed perf trajectory).

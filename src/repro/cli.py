@@ -23,7 +23,15 @@ Subcommands
 ``rit loadgen``           drive the service open-loop at scale and report
                           throughput / epoch-latency percentiles
                           (``--bench`` merges the ``service`` section into
-                          ``BENCH_RIT.json``).
+                          ``BENCH_RIT.json``; ``--graph`` picks the social
+                          regime, ``--attack`` injects a seeded adversary
+                          burst watched by the sentinel plane).
+``rit sentinel``          run the live-adversary gate: clean pinned scenarios
+                          must stay alert-free, seeded sybil/collusion/churn
+                          injections must be flagged within K epochs, and the
+                          served outcomes must match the offline replay
+                          (``--bench`` merges the ``sentinel`` section into
+                          ``BENCH_RIT.json``; ``--smoke`` is the CI preset).
 ``rit lint``              run the AST-based domain linter over the tree
                           (also: ``python -m repro.devtools.lint``).
 ``rit analyze``           run the whole-program determinism & concurrency
@@ -44,6 +52,10 @@ from repro.simulation import experiments as exp
 from repro.simulation.reporting import format_comparison_row, format_result
 
 __all__ = ["main", "build_parser"]
+
+# Mirrors repro.service.loadgen.GRAPH_REGIMES without importing the
+# service stack at parser-build time (handlers import lazily).
+_GRAPH_REGIME_NAMES = ("twitter", "watts-strogatz", "forest-fire")
 
 _EXPERIMENTS = {
     "fig6a": exp.fig6a,
@@ -324,10 +336,51 @@ def build_parser() -> argparse.ArgumentParser:
         "(default 50000 with --bench, else 0)",
     )
     p_load.add_argument(
+        "--graph", choices=sorted(_GRAPH_REGIME_NAMES), default="twitter",
+        help="social-graph regime the solicitation forest grows over",
+    )
+    p_load.add_argument(
+        "--attack", choices=["sybil", "collusion", "churn"], default=None,
+        help="inject a seeded adversary burst and attach the sentinel plane",
+    )
+    p_load.add_argument(
+        "--attack-epoch", type=int, default=4,
+        help="epoch index the injected burst lands at (with --attack)",
+    )
+    p_load.add_argument(
+        "--attack-seed", type=int, default=None,
+        help="attack RNG seed (defaults to --seed)",
+    )
+    p_load.add_argument(
         "--bench", action="store_true",
         help="merge the measured ``service`` section into the bench doc",
     )
     p_load.add_argument(
+        "--out", default="BENCH_RIT.json",
+        help="bench document to merge into (with --bench)",
+    )
+
+    p_sentinel = sub.add_parser(
+        "sentinel",
+        help="run the live-adversary gate (clean + injected pinned runs)",
+    )
+    p_sentinel.add_argument(
+        "--smoke", action="store_true",
+        help="one clean scenario + one sybil injection (CI preset)",
+    )
+    p_sentinel.add_argument(
+        "--k", type=int, default=None,
+        help="detection budget in epochs (default: the pinned K)",
+    )
+    p_sentinel.add_argument(
+        "--json", action="store_true",
+        help="print the sentinel section as JSON instead of the table",
+    )
+    p_sentinel.add_argument(
+        "--bench", action="store_true",
+        help="merge the ``sentinel`` section into the bench doc",
+    )
+    p_sentinel.add_argument(
         "--out", default="BENCH_RIT.json",
         help="bench document to merge into (with --bench)",
     )
@@ -884,14 +937,19 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         engine=args.engine,
         shard_workers=not args.no_shard,
         min_events=min_events,
+        graph=args.graph,
+        attack=args.attack,
+        attack_epoch=args.attack_epoch,
+        attack_seed=args.attack_seed,
     )
     slo = section.pop("slo")
+    sentinel_section = section.pop("sentinel", None)
     events = section["events"]
     latency = section["epoch_latency_seconds"]
     print(f"stream: {events['generated']} events generated, "
           f"{events['offered']} offered "
           f"({events['accepted']} accepted / {events['invalid']} invalid / "
-          f"{events['rejected']} rejected)")
+          f"{events['rejected']} rejected / {events['gated']} gated)")
     print(f"state:  {events['applied']} applied, {events['refused']} refused")
     print(f"epochs: {section['epochs']['count']} "
           f"({section['epochs']['completed']} completed, "
@@ -909,6 +967,15 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
               f"p95 {block['p95'] * 1000:.2f} ms  "
               f"p99 {block['p99'] * 1000:.2f} ms  "
               f"(n={block['count']})")
+    if sentinel_section is not None:
+        entry = sentinel_section["attacks"][0]
+        detected = entry["detected_epoch"]
+        print(f"sentinel: {entry['kind']} injected at epoch "
+              f"{entry['onset_epoch']}, "
+              + ("NOT detected" if detected is None else
+                 f"detected at epoch {detected} "
+                 f"(+{entry['epochs_to_detect']})")
+              + f", {entry['alerts_total']} alert(s)")
     if args.bench:
         try:
             with open(args.out, "r", encoding="utf-8") as handle:
@@ -917,12 +984,15 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             doc = {}
         doc["service"] = section
         doc["service_slo"] = slo
+        if sentinel_section is not None:
+            doc["sentinel"] = sentinel_section
         if "schema_version" in doc:
             errors = validate_bench_schema(doc)
         else:
             # Fresh doc without the scaling-bench envelope: still gate the
-            # two sections this command writes.
+            # sections this command writes.
             from repro.devtools.bench import (
+                _validate_sentinel_section,
                 _validate_service_section,
                 _validate_service_slo_section,
             )
@@ -931,13 +1001,61 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
                 *_validate_service_section(section),
                 *_validate_service_slo_section(slo),
             ]
+            if sentinel_section is not None:
+                errors.extend(_validate_sentinel_section(sentinel_section))
         if errors:
             print(f"refusing to write {args.out}: merged doc is invalid:")
             for error in errors:
                 print(f"  {error}")
             return 1
         write_bench(doc, args.out)
-        print(f"service + service_slo sections merged -> {args.out}")
+        merged = "service + service_slo" + (
+            " + sentinel" if sentinel_section is not None else ""
+        )
+        print(f"{merged} sections merged -> {args.out}")
+    return 0
+
+
+def _cmd_sentinel(args: argparse.Namespace) -> int:
+    from repro.devtools.bench import validate_bench_schema, write_bench
+    from repro.sentinel.harness import (
+        DEFAULT_DETECTION_BUDGET,
+        render_sentinel_report,
+        run_sentinel_report,
+    )
+
+    k = args.k if args.k is not None else DEFAULT_DETECTION_BUDGET
+    section, problems = run_sentinel_report(smoke=args.smoke, k=k)
+    if args.json:
+        print(json.dumps(section, indent=2, sort_keys=True))
+    else:
+        print(render_sentinel_report(section))
+    if problems:
+        print()
+        print("PROBLEMS:")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    if args.bench:
+        try:
+            with open(args.out, "r", encoding="utf-8") as handle:
+                doc = json.load(handle)
+        except FileNotFoundError:
+            doc = {}
+        doc["sentinel"] = section
+        if "schema_version" in doc:
+            errors = validate_bench_schema(doc)
+        else:
+            from repro.devtools.bench import _validate_sentinel_section
+
+            errors = _validate_sentinel_section(section)
+        if errors:
+            print(f"refusing to write {args.out}: merged doc is invalid:")
+            for error in errors:
+                print(f"  {error}")
+            return 1
+        write_bench(doc, args.out)
+        print(f"sentinel section merged -> {args.out}")
     return 0
 
 
@@ -967,6 +1085,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "serve": _cmd_serve,
         "top": _cmd_top,
         "loadgen": _cmd_loadgen,
+        "sentinel": _cmd_sentinel,
         "lint": _cmd_lint,
         "analyze": _cmd_analyze,
     }

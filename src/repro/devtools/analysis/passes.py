@@ -57,6 +57,7 @@ HOT_MODULES = (
     "repro.service.workers",
     "repro.service.epochs",
     "repro.service.service",
+    "repro.sentinel.plane",
 )
 
 #: Minimum body size before RIT013 demands instrumentation.

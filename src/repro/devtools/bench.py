@@ -369,6 +369,8 @@ def validate_bench_schema(doc: Any) -> List[str]:
         errors.extend(_validate_service_slo_section(doc["service_slo"]))
     if "analysis" in doc:
         errors.extend(_validate_analysis_section(doc["analysis"]))
+    if "sentinel" in doc:
+        errors.extend(_validate_sentinel_section(doc["sentinel"]))
     return errors
 
 
@@ -491,12 +493,18 @@ def _validate_service_section(section: Any) -> List[str]:
             value = events.get(key)
             if not isinstance(value, int) or isinstance(value, bool) or value < 0:
                 errors.append(f"service.events.{key} must be a non-negative int")
-        if not errors and events["offered"] != (
-            events["accepted"] + events["invalid"] + events["rejected"]
+        # ``gated`` (sentinel admission-policy refusals) is optional so
+        # documents written before the sentinel plane stay valid.
+        gated = events.get("gated", 0)
+        if not isinstance(gated, int) or isinstance(gated, bool) or gated < 0:
+            errors.append("service.events.gated must be a non-negative int")
+        elif not errors and events["offered"] != (
+            events["accepted"] + events["invalid"] + events["rejected"] + gated
         ):
             errors.append(
                 "service.events must balance: offered == accepted + invalid "
-                "+ rejected (rejections are counted, never silently dropped)"
+                "+ rejected + gated (refusals are counted, never silently "
+                "dropped)"
             )
     throughput = section.get("events_per_sec")
     if not isinstance(throughput, float) or throughput <= 0.0:
@@ -631,4 +639,87 @@ def _validate_analysis_section(section: Any) -> List[str]:
             "analysis.warm_files_parsed must be 0 — the incremental cache "
             "re-parsed files on a warm run over an unchanged tree"
         )
+    return errors
+
+
+def _validate_sentinel_section(section: Any) -> List[str]:
+    """Schema of the optional ``sentinel`` section (``rit sentinel --bench``).
+
+    The section is the live-adversary acceptance record: pinned clean
+    scenarios with their alert counts, seeded injections with their
+    detection latency, and the two verdict booleans.  Both
+    ``detection_within_k`` and ``zero_false_positives`` must be ``true``
+    — a committed document recording a missed attack or a noisy clean
+    run is a regression, exactly like ``analysis.warm_files_parsed``.
+    """
+    errors: List[str] = []
+    if not isinstance(section, dict):
+        return ["sentinel is not an object"]
+    if not isinstance(section.get("config"), dict):
+        errors.append("sentinel.config is not an object")
+    k = section.get("k")
+    if not isinstance(k, int) or isinstance(k, bool) or k <= 0:
+        errors.append("sentinel.k must be a positive int")
+    clean = section.get("clean")
+    if not isinstance(clean, list):
+        errors.append("sentinel.clean is not a list")
+    else:
+        for index, doc in enumerate(clean):
+            where = f"sentinel.clean[{index}]"
+            if not isinstance(doc, dict):
+                errors.append(f"{where} is not an object")
+                continue
+            if not isinstance(doc.get("scenario"), str):
+                errors.append(f"{where}.scenario must be a string")
+            epochs = doc.get("epochs")
+            if not isinstance(epochs, int) or isinstance(epochs, bool) or epochs <= 0:
+                errors.append(f"{where}.epochs must be a positive int")
+            for key in ("alerts_total", "false_positive_epochs"):
+                value = doc.get(key)
+                if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+                    errors.append(f"{where}.{key} must be a non-negative int")
+    attacks = section.get("attacks")
+    if not isinstance(attacks, list) or not attacks:
+        errors.append("sentinel.attacks must be a non-empty list")
+    else:
+        for index, doc in enumerate(attacks):
+            where = f"sentinel.attacks[{index}]"
+            if not isinstance(doc, dict):
+                errors.append(f"{where} is not an object")
+                continue
+            if doc.get("kind") not in ("sybil", "collusion", "churn"):
+                errors.append(
+                    f"{where}.kind must be one of sybil/collusion/churn"
+                )
+            onset = doc.get("onset_epoch")
+            if not isinstance(onset, int) or isinstance(onset, bool) or onset < 0:
+                errors.append(f"{where}.onset_epoch must be a non-negative int")
+            for key in ("detected_epoch", "epochs_to_detect"):
+                value = doc.get(key)
+                if value is not None and (
+                    not isinstance(value, int)
+                    or isinstance(value, bool)
+                    or value < 0
+                ):
+                    errors.append(
+                        f"{where}.{key} must be null or a non-negative int"
+                    )
+            total = doc.get("alerts_total")
+            if not isinstance(total, int) or isinstance(total, bool) or total < 0:
+                errors.append(f"{where}.alerts_total must be a non-negative int")
+            detectors = doc.get("detectors")
+            if not isinstance(detectors, dict):
+                errors.append(f"{where}.detectors is not an object")
+            else:
+                for name, count in detectors.items():
+                    if not isinstance(count, int) or isinstance(count, bool) or count <= 0:
+                        errors.append(
+                            f"{where}.detectors.{name} must be a positive int"
+                        )
+    for key in ("detection_within_k", "zero_false_positives"):
+        if section.get(key) is not True:
+            errors.append(
+                f"sentinel.{key} must be true — the committed document is "
+                "the live-adversary acceptance record"
+            )
     return errors

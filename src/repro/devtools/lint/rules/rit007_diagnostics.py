@@ -22,8 +22,9 @@ The scope is the instrumented set, module by module (not whole packages):
 uninstrumented modules keep the looser RIT005 contract.  Note what is
 deliberately *outside* the scope: ``repro.service.loadgen`` wraps the
 whole service run with ``time.perf_counter`` (a bench harness, not a
-traced path) and ``repro.service.top`` is an interactive terminal client
-that legitimately sleeps between polls.
+traced path), ``repro.service.top`` is an interactive terminal client
+that legitimately sleeps between polls, and ``repro.sentinel.harness``
+is the bench/CLI driver for the live-adversary gate.
 """
 
 from __future__ import annotations
@@ -88,6 +89,10 @@ class RawDiagnostics(Rule):
         "repro.service.workers",
         "repro.service.service",
         "repro.service.telemetry",
+        "repro.sentinel.attacks",
+        "repro.sentinel.detectors",
+        "repro.sentinel.plane",
+        "repro.sentinel.reputation",
     )
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:

@@ -139,6 +139,19 @@ METRIC_CATALOG: Dict[str, MetricSpec] = {
         "gauge", "count", None, False,
         "participants in the cumulative state at epoch close",
     ),
+    "sentinel/reputation_mean": MetricSpec(
+        "gauge", "ratio", None, False,
+        "mean beta-reputation trust score over observed participants",
+    ),
+    "sentinel/reputation_min": MetricSpec(
+        "gauge", "ratio", None, False,
+        "lowest beta-reputation trust score among observed participants",
+    ),
+    "sentinel/flagged_users": MetricSpec(
+        "gauge", "count", None, False,
+        "participants whose beta-reputation score sits below the "
+        "configured floor",
+    ),
 }
 
 #: Prefix families for dynamically-named metrics: prefix → spec.

@@ -1,0 +1,320 @@
+"""Streaming anomaly detectors over the per-epoch gauge surface.
+
+Each detector is a pure fold over the epoch sequence: it keeps a bounded
+rolling baseline of a single signal and raises an alert dict when the
+current epoch deviates past a configured threshold.  All state is plain
+Python scalars updated in a deterministic order, so a seeded run always
+raises the same alerts at the same epochs — the alert stream is part of
+the canonical trace.
+
+The signals map onto the paper's robustness properties:
+
+* :class:`DepthAnomalyDetector` — ``referral_depth_max`` jumping past
+  the rolling window's maximum is the signature of a sybil *chain*
+  (§3-B): honest BFS solicitation deepens the tree one level at a time,
+  an identity-splitting burst adds many levels inside one epoch.
+* :class:`WinRateDriftDetector` — the ``win_rate/depth<k>`` surface
+  drifting far from its rolling mean marks a subtree suddenly winning
+  (or starving) out of proportion, the observable side of a coalition
+  capturing rounds (§3-C).
+* :class:`PriceDriftDetector` — the mean admitted ask value spiking
+  over the rolling mean is the §4-A price cartel's direct footprint.
+* :class:`WithdrawalSpikeDetector` — a churn storm of withdrawals in
+  one epoch against a quiet baseline.
+
+Warmup semantics: no detector alerts until its baseline holds
+``warmup_epochs`` observations, so cold-start noise never trips alarms.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque, Dict, Mapping, Optional
+
+from repro.core.exceptions import ConfigurationError
+
+__all__ = [
+    "SentinelConfig",
+    "RollingBaseline",
+    "DepthAnomalyDetector",
+    "WinRateDriftDetector",
+    "WithdrawalSpikeDetector",
+    "PriceDriftDetector",
+]
+
+
+@dataclass(frozen=True)
+class SentinelConfig:
+    """Thresholds and windows of the sentinel plane (all deterministic).
+
+    Attributes
+    ----------
+    warmup_epochs:
+        Baseline observations required before a detector may alert.
+    baseline_window:
+        Rolling-window length (epochs) behind every baseline.
+    depth_jump:
+        Alert when ``referral_depth_max`` exceeds the window maximum by
+        at least this many levels in one epoch.
+    win_rate_drift:
+        Alert when any ``win_rate/depth<k>`` gauge sits this far (abs)
+        from its per-depth rolling mean.
+    withdrawal_spike_factor:
+        Alert when one epoch's applied withdrawals reach this multiple
+        of the rolling mean …
+    withdrawal_spike_min:
+        … and at least this absolute count (guards a zero baseline).
+    price_drift_ratio:
+        Alert when the epoch's mean admitted ask value exceeds the
+        rolling mean by this relative ratio (1.0 → double the baseline).
+    reputation_penalty:
+        Beta-reputation failure increments charged per withdrawal.
+    reputation_floor:
+        Trust score below which a user counts as flagged
+        (``sentinel/flagged_users``).
+    admission_floor:
+        When set, the frontend admission gate refuses asks from users
+        whose trust score sits below this floor; ``None`` (default)
+        keeps the gate off so served outcomes stay bit-identical to the
+        offline replay.
+    alert_ring:
+        Bounded length of the retained alert ring (``/alerts``).
+    """
+
+    warmup_epochs: int = 4
+    baseline_window: int = 8
+    depth_jump: int = 4
+    win_rate_drift: float = 0.5
+    withdrawal_spike_factor: float = 4.0
+    withdrawal_spike_min: int = 8
+    price_drift_ratio: float = 1.0
+    reputation_penalty: int = 2
+    reputation_floor: float = 0.25
+    admission_floor: Optional[float] = None
+    alert_ring: int = 256
+
+    def __post_init__(self) -> None:
+        if self.warmup_epochs < 1:
+            raise ConfigurationError(
+                f"warmup_epochs must be >= 1, got {self.warmup_epochs}"
+            )
+        if self.baseline_window < self.warmup_epochs:
+            raise ConfigurationError(
+                f"baseline_window {self.baseline_window} must cover "
+                f"warmup_epochs {self.warmup_epochs}"
+            )
+        if self.depth_jump < 1:
+            raise ConfigurationError(
+                f"depth_jump must be >= 1, got {self.depth_jump}"
+            )
+        if not self.win_rate_drift > 0:
+            raise ConfigurationError(
+                f"win_rate_drift must be > 0, got {self.win_rate_drift}"
+            )
+        if not self.withdrawal_spike_factor > 1:
+            raise ConfigurationError(
+                "withdrawal_spike_factor must be > 1, got "
+                f"{self.withdrawal_spike_factor}"
+            )
+        if self.withdrawal_spike_min < 1:
+            raise ConfigurationError(
+                f"withdrawal_spike_min must be >= 1, got "
+                f"{self.withdrawal_spike_min}"
+            )
+        if not self.price_drift_ratio > 0:
+            raise ConfigurationError(
+                f"price_drift_ratio must be > 0, got {self.price_drift_ratio}"
+            )
+        if self.reputation_penalty < 1:
+            raise ConfigurationError(
+                f"reputation_penalty must be >= 1, got {self.reputation_penalty}"
+            )
+        if not 0.0 < self.reputation_floor < 1.0:
+            raise ConfigurationError(
+                f"reputation_floor must be in (0, 1), got {self.reputation_floor}"
+            )
+        if self.admission_floor is not None and not (
+            0.0 < self.admission_floor < 1.0
+        ):
+            raise ConfigurationError(
+                f"admission_floor must be in (0, 1), got {self.admission_floor}"
+            )
+        if self.alert_ring < 1:
+            raise ConfigurationError(
+                f"alert_ring must be >= 1, got {self.alert_ring}"
+            )
+
+
+class RollingBaseline:
+    """A bounded window of a scalar signal with exact fold statistics."""
+
+    __slots__ = ("values",)
+
+    def __init__(self, window: int) -> None:
+        self.values: Deque[float] = deque(maxlen=window)
+
+    def push(self, value: float) -> None:
+        self.values.append(float(value))
+
+    @property
+    def size(self) -> int:
+        return len(self.values)
+
+    def mean(self) -> float:
+        return sum(self.values) / len(self.values)
+
+    def maximum(self) -> float:
+        return max(self.values)
+
+
+def _alert(
+    detector: str,
+    epoch: int,
+    value: float,
+    baseline: float,
+    threshold: float,
+    detail: str,
+) -> Dict[str, Any]:
+    """The alert schema: one flat JSON-able record per detection."""
+    return {
+        "detector": detector,
+        "epoch": epoch,
+        "value": float(value),
+        "baseline": float(baseline),
+        "threshold": float(threshold),
+        "detail": detail,
+    }
+
+
+class DepthAnomalyDetector:
+    """Referral-depth jumps over the rolling window maximum (sybil chains)."""
+
+    name = "depth_anomaly"
+
+    def __init__(self, config: SentinelConfig) -> None:
+        self.config = config
+        self.baseline = RollingBaseline(config.baseline_window)
+
+    def update(self, epoch: int, depth_max: float) -> Optional[Dict[str, Any]]:
+        alert = None
+        if self.baseline.size >= self.config.warmup_epochs:
+            ceiling = self.baseline.maximum()
+            jump = depth_max - ceiling
+            if jump >= self.config.depth_jump:
+                alert = _alert(
+                    self.name,
+                    epoch,
+                    depth_max,
+                    ceiling,
+                    float(self.config.depth_jump),
+                    f"referral depth jumped {jump:.0f} levels past the "
+                    f"window maximum {ceiling:.0f}",
+                )
+        self.baseline.push(depth_max)
+        return alert
+
+
+class WinRateDriftDetector:
+    """Per-depth win-rate gauges drifting from their rolling means."""
+
+    name = "win_rate_drift"
+
+    def __init__(self, config: SentinelConfig) -> None:
+        self.config = config
+        self.baselines: Dict[str, RollingBaseline] = {}
+
+    def update(
+        self, epoch: int, win_rates: Mapping[str, float]
+    ) -> Optional[Dict[str, Any]]:
+        alert = None
+        worst = 0.0
+        # Name-sorted so the first-past-threshold depth is deterministic.
+        for name in sorted(win_rates):
+            value = win_rates[name]
+            baseline = self.baselines.get(name)
+            if baseline is None:
+                baseline = RollingBaseline(self.config.baseline_window)
+                self.baselines[name] = baseline
+            # A depth must have a *full* warmed history: depths that
+            # appear and vanish as the tree grows never hold a stable
+            # baseline and would only produce noise.
+            if baseline.size >= self.config.baseline_window:
+                drift = abs(value - baseline.mean())
+                if drift >= self.config.win_rate_drift and drift > worst:
+                    worst = drift
+                    alert = _alert(
+                        self.name,
+                        epoch,
+                        value,
+                        baseline.mean(),
+                        self.config.win_rate_drift,
+                        f"{name} drifted {drift:.3f} from its rolling mean",
+                    )
+            baseline.push(value)
+        return alert
+
+
+class WithdrawalSpikeDetector:
+    """Applied-withdrawal count spiking over a quiet baseline (churn)."""
+
+    name = "withdrawal_spike"
+
+    def __init__(self, config: SentinelConfig) -> None:
+        self.config = config
+        self.baseline = RollingBaseline(config.baseline_window)
+
+    def update(self, epoch: int, count: int) -> Optional[Dict[str, Any]]:
+        alert = None
+        if self.baseline.size >= self.config.warmup_epochs:
+            mean = self.baseline.mean()
+            threshold = max(
+                float(self.config.withdrawal_spike_min),
+                self.config.withdrawal_spike_factor * mean,
+            )
+            if count >= threshold:
+                alert = _alert(
+                    self.name,
+                    epoch,
+                    float(count),
+                    mean,
+                    threshold,
+                    f"{count} withdrawals applied against a rolling mean "
+                    f"of {mean:.2f}",
+                )
+        self.baseline.push(float(count))
+        return alert
+
+
+class PriceDriftDetector:
+    """Mean admitted ask value spiking over the rolling mean (cartels)."""
+
+    name = "price_drift"
+
+    def __init__(self, config: SentinelConfig) -> None:
+        self.config = config
+        self.baseline = RollingBaseline(config.baseline_window)
+
+    def update(
+        self, epoch: int, mean_value: float, num_submissions: int
+    ) -> Optional[Dict[str, Any]]:
+        if num_submissions == 0:
+            # No asks this epoch: nothing to judge, and folding a zero in
+            # would poison the price baseline.
+            return None
+        alert = None
+        if self.baseline.size >= self.config.warmup_epochs:
+            mean = self.baseline.mean()
+            threshold = (1.0 + self.config.price_drift_ratio) * mean
+            if mean_value >= threshold:
+                alert = _alert(
+                    self.name,
+                    epoch,
+                    mean_value,
+                    mean,
+                    threshold,
+                    f"mean ask value {mean_value:.4f} against a rolling "
+                    f"mean of {mean:.4f} ({num_submissions} asks)",
+                )
+        self.baseline.push(mean_value)
+        return alert

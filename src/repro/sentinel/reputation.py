@@ -1,0 +1,135 @@
+"""Per-user beta-reputation trust scores as a pure fold over epochs.
+
+The Sustainable Incentives survey (arXiv:1701.00248) frames reputation
+as the third incentive pillar beside payments and gamification; the
+standard construction is the *beta reputation* posterior: count a user's
+positive and negative interactions ``(α, β)`` and score them by the
+posterior mean ``(α + 1) / (α + β + 2)`` of a Beta(α+1, β+1) prior.
+
+Here the interactions are epoch outcomes:
+
+* winning at least one task in an epoch → ``α += 1``;
+* participating (a live ask in the epoch's cumulative state) without
+  winning → ``β += 1``;
+* withdrawing → ``β += withdrawal_penalty`` (abandoning a subtree is
+  worse than merely losing a round).
+
+Counters are integers and the score is a single IEEE division of two
+integers, so the fold is bit-reproducible across platforms and replay —
+the property that lets reputation gauges live in the canonical trace and
+lets the admission gate stay deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Mapping, Optional
+
+from repro.core.exceptions import ConfigurationError
+
+__all__ = ["ReputationBook"]
+
+
+class ReputationBook:
+    """Integer beta-reputation counters folded over served epochs."""
+
+    def __init__(self, *, withdrawal_penalty: int = 2) -> None:
+        if withdrawal_penalty < 1:
+            raise ConfigurationError(
+                f"withdrawal_penalty must be >= 1, got {withdrawal_penalty}"
+            )
+        self.withdrawal_penalty = withdrawal_penalty
+        #: ``{user_id: [α, β]}`` — integer success/failure counters.
+        self._counters: Dict[int, list] = {}
+
+    def __len__(self) -> int:
+        return len(self._counters)
+
+    def __contains__(self, user_id: int) -> bool:
+        return user_id in self._counters
+
+    def _entry(self, user_id: int) -> list:
+        entry = self._counters.get(user_id)
+        if entry is None:
+            entry = [0, 0]
+            self._counters[user_id] = entry
+        return entry
+
+    # ------------------------------------------------------------------ #
+    # Fold points
+    # ------------------------------------------------------------------ #
+
+    def observe_epoch(
+        self, participants: Iterable[int], winners: Iterable[int]
+    ) -> None:
+        """Fold one epoch: winners gain an α, losers gain a β."""
+        winner_set = set(winners)
+        for uid in participants:
+            entry = self._entry(uid)
+            if uid in winner_set:
+                entry[0] += 1
+            else:
+                entry[1] += 1
+
+    def observe_withdrawal(self, user_id: int) -> None:
+        """Fold one applied withdrawal (penalized β increment)."""
+        self._entry(user_id)[1] += self.withdrawal_penalty
+
+    # ------------------------------------------------------------------ #
+    # Scores and summaries
+    # ------------------------------------------------------------------ #
+
+    def score(self, user_id: int) -> Optional[float]:
+        """Posterior-mean trust score, or None for an unobserved user."""
+        entry = self._counters.get(user_id)
+        if entry is None:
+            return None
+        alpha, beta = entry
+        return (alpha + 1) / (alpha + beta + 2)
+
+    def summary(self, floor: float) -> Dict[str, float]:
+        """Aggregate gauge surface: mean/min score and flagged count.
+
+        Users are folded in sorted-id order so the float mean is one
+        deterministic summation whatever order they joined in.
+        """
+        if not self._counters:
+            return {"users": 0.0, "mean": 0.5, "minimum": 0.5, "flagged": 0.0}
+        total = 0.0
+        minimum = 1.0
+        flagged = 0
+        for uid in sorted(self._counters):
+            alpha, beta = self._counters[uid]
+            value = (alpha + 1) / (alpha + beta + 2)
+            total += value
+            if value < minimum:
+                minimum = value
+            if value < floor:
+                flagged += 1
+        return {
+            "users": float(len(self._counters)),
+            "mean": total / len(self._counters),
+            "minimum": minimum,
+            "flagged": float(flagged),
+        }
+
+    # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-able snapshot (string keys, sorted for stable dumps)."""
+        return {
+            "withdrawal_penalty": self.withdrawal_penalty,
+            "counters": {
+                str(uid): list(self._counters[uid])
+                for uid in sorted(self._counters)
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ReputationBook":
+        book = cls(withdrawal_penalty=int(data["withdrawal_penalty"]))
+        for key, entry in dict(data.get("counters", {})).items():
+            alpha, beta = entry
+            book._counters[int(key)] = [int(alpha), int(beta)]
+        return book

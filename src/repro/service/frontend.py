@@ -26,7 +26,7 @@ both as volatile ``distribution`` events.
 from __future__ import annotations
 
 import asyncio
-from typing import AsyncIterator, Optional
+from typing import AsyncIterator, Callable, Optional
 
 from repro.core.exceptions import ConfigurationError
 from repro.core.types import Job
@@ -50,6 +50,7 @@ class IngestFrontend:
         maxsize: int = 1024,
         tracer: Optional[NullTracer] = None,
         telemetry: Optional[ServiceTelemetry] = None,
+        gatekeeper: Optional[Callable[[ServiceEvent], Optional[str]]] = None,
     ) -> None:
         if maxsize <= 0:
             raise ConfigurationError(f"queue maxsize must be positive, got {maxsize}")
@@ -57,11 +58,17 @@ class IngestFrontend:
         self.maxsize = maxsize
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.telemetry = telemetry
+        #: Optional admission policy (e.g. the sentinel reputation gate):
+        #: a callable returning a refusal reason, or None to admit.  Runs
+        #: *before* the queue, so gated events never join the consumed
+        #: stream and replay differentials stay valid by construction.
+        self.gatekeeper = gatekeeper
         self._queue: "asyncio.Queue[Optional[ServiceEvent]]" = asyncio.Queue(maxsize)
         self.offered = 0
         self.accepted = 0
         self.invalid = 0
         self.rejected = 0
+        self.gated = 0
         self.highwater = 0
         self._closed = False
 
@@ -81,6 +88,13 @@ class IngestFrontend:
             if self.tracer.enabled:
                 self.tracer.count("service_events_invalid")
             return f"invalid: {reason}"
+        if self.gatekeeper is not None:
+            reason = self.gatekeeper(event)
+            if reason is not None:
+                self.gated += 1
+                if self.tracer.enabled:
+                    self.tracer.count("service_events_gated")
+                return f"gated: {reason}"
         return None
 
     def _note_enqueued(self) -> None:

@@ -20,6 +20,9 @@ request per connection) that exposes the live telemetry of a running
 ``GET /epochs``
     The bounded ring of per-epoch frames plus the SLO summary as JSON —
     the payload ``rit top`` renders.
+``GET /alerts``
+    The sentinel plane's bounded alert ring plus the reputation
+    aggregate (``{"enabled": false}`` when no plane is attached).
 
 Everything here runs on the event loop; responses are built from
 in-memory state only (no file or blocking socket I/O — lint rule
@@ -80,19 +83,24 @@ class MetricsServer:
         """The OpenMetrics exposition of the current plane."""
         frontend = self.service.frontend
         telemetry = self.service.telemetry
-        counters = telemetry.counters_snapshot(
-            {
-                "service_events_offered": frontend.offered,
-                "service_events_accepted": frontend.accepted,
-                "service_events_invalid": frontend.invalid,
-                "service_events_rejected": frontend.rejected,
-                "service_queue_highwater": frontend.highwater,
-            }
-        )
+        extra = {
+            "service_events_offered": frontend.offered,
+            "service_events_accepted": frontend.accepted,
+            "service_events_invalid": frontend.invalid,
+            "service_events_rejected": frontend.rejected,
+            "service_queue_highwater": frontend.highwater,
+        }
+        gauges = dict(telemetry.gauges)
+        sentinel = self.service.sentinel
+        if sentinel is not None:
+            extra["service_events_gated"] = frontend.gated
+            extra["sentinel_alerts"] = sentinel.alerts_total
+            gauges.update(sentinel.gauges)
+        counters = telemetry.counters_snapshot(extra)
         return format_openmetrics(
             counters=counters,
             histograms=telemetry.histograms,
-            gauges=telemetry.gauges,
+            gauges=gauges,
         )
 
     def health(self) -> Dict[str, Any]:
@@ -127,11 +135,21 @@ class MetricsServer:
 
     def epochs(self) -> Dict[str, Any]:
         telemetry = self.service.telemetry
-        return {
+        payload = {
             "frames": telemetry.recent_frames(),
             "slo": telemetry.slo_summary(),
             "phase": telemetry.phase,
         }
+        if self.service.sentinel is not None:
+            payload["sentinel"] = self.service.sentinel.status()
+        return payload
+
+    def alerts(self) -> Dict[str, Any]:
+        """The ``/alerts`` payload: sentinel ring + reputation aggregate."""
+        sentinel = self.service.sentinel
+        if sentinel is None:
+            return {"enabled": False, "alerts": [], "alerts_total": 0}
+        return sentinel.alerts_snapshot()
 
     # ------------------------------------------------------------------ #
     # Request handling
@@ -150,6 +168,8 @@ class MetricsServer:
             return (200 if ready else 503), _JSON, json.dumps(body)
         if path == "/epochs":
             return 200, _JSON, json.dumps(self.epochs())
+        if path == "/alerts":
+            return 200, _JSON, json.dumps(self.alerts())
         return 404, _JSON, json.dumps({"error": f"no route {path}"})
 
     async def _handle(

@@ -26,11 +26,42 @@ from repro.core.rng import SeedLike, as_generator, spawn_seeds
 from repro.core.types import Job
 from repro.service.events import AskSubmitted, ReferralEdge, ServiceEvent, Withdrawal
 from repro.service.service import MechanismService, ServiceConfig
+from repro.socialnet.generators import forest_fire, twitter_like, watts_strogatz
+from repro.socialnet.graph import SocialGraph
 from repro.tree.incentive_tree import ROOT
 from repro.workloads.scenarios import Scenario, paper_scenario
 from repro.workloads.users import UserDistribution
 
-__all__ = ["scenario_event_stream", "build_scenario", "run_service_bench"]
+__all__ = [
+    "GRAPH_REGIMES",
+    "scenario_event_stream",
+    "build_scenario",
+    "run_service_bench",
+]
+
+
+def _twitter_graph(num_users: int, rng: SeedLike = None) -> SocialGraph:
+    return twitter_like(num_users, rng=rng, mean_out_degree=12.0)
+
+
+def _watts_strogatz_graph(num_users: int, rng: SeedLike = None) -> SocialGraph:
+    return watts_strogatz(num_users, rng=rng)
+
+
+def _forest_fire_graph(num_users: int, rng: SeedLike = None) -> SocialGraph:
+    return forest_fire(num_users, rng=rng)
+
+
+#: Social-graph regimes a loadgen scenario can grow its tree over
+#: (``rit loadgen --graph``): the twitter-like default plus the
+#: small-world and forest-fire generators from
+#: :mod:`repro.socialnet.generators`, so attack and bench runs cover
+#: more than one solicitation-forest shape.
+GRAPH_REGIMES = {
+    "twitter": _twitter_graph,
+    "watts-strogatz": _watts_strogatz_graph,
+    "forest-fire": _forest_fire_graph,
+}
 
 
 def scenario_event_stream(
@@ -99,18 +130,30 @@ def build_scenario(
     types: int,
     tasks_per_type: int,
     rng: SeedLike = None,
+    *,
+    graph: str = "twitter",
 ) -> Scenario:
     """The §7-A scenario at loadgen scale with a right-sized job.
 
     The user distribution is re-typed to the job's type count — the
     stock §7-A distribution spreads users over 10 types, which would make
-    most asks structurally invalid against a smaller job.
+    most asks structurally invalid against a smaller job.  ``graph``
+    names a :data:`GRAPH_REGIMES` entry; all regimes consume the same
+    spawned RNG streams, so switching regimes changes only the
+    solicitation forest, never the user profiles.
     """
+    builder = GRAPH_REGIMES.get(graph)
+    if builder is None:
+        raise ConfigurationError(
+            f"unknown graph regime {graph!r}; expected one of "
+            f"{sorted(GRAPH_REGIMES)}"
+        )
     return paper_scenario(
         users,
         Job.uniform(types, tasks_per_type),
         rng,
         distribution=UserDistribution(num_types=types),
+        graph_builder=builder,
     )
 
 
@@ -127,6 +170,10 @@ def run_service_bench(
     engine: str = "sorted",
     shard_workers: bool = True,
     min_events: int = 0,
+    graph: str = "twitter",
+    attack: Optional[str] = None,
+    attack_epoch: int = 4,
+    attack_seed: Optional[int] = None,
 ) -> Dict[str, Any]:
     """Drive one open-loop service run; returns the bench ``service`` doc.
 
@@ -134,11 +181,20 @@ def run_service_bench(
     (referral + ask per non-root user, plus withdrawals).  ``min_events``
     asserts a floor on the generated stream — the bench refuses to
     silently measure a smaller workload than asked for.
+
+    ``attack`` rewrites the stream with a seeded adversary burst
+    (:func:`repro.sentinel.attacks.inject_attack`) at ``attack_epoch``
+    and attaches a :class:`~repro.sentinel.plane.SentinelPlane`; the
+    result then carries a ``sentinel`` fragment (detection latency,
+    alert counts, the injection schedule) that the CLI merges into
+    ``BENCH_RIT.json``'s ``sentinel`` section.
     """
     if users <= 0:
         raise ConfigurationError(f"users must be positive, got {users}")
     scenario_rng, stream_rng = spawn_seeds(seed, 2)
-    scenario = build_scenario(users, types, tasks_per_type, scenario_rng)
+    scenario = build_scenario(
+        users, types, tasks_per_type, scenario_rng, graph=graph
+    )
     events = scenario_event_stream(
         scenario, stream_rng, withdraw_fraction=withdraw_fraction
     )
@@ -147,6 +203,24 @@ def run_service_bench(
             f"generated stream has {len(events)} events, below the "
             f"requested floor {min_events}; raise --users"
         )
+    schedule: Optional[Dict[str, Any]] = None
+    sentinel = None
+    if attack is not None:
+        # Lazy import: repro.sentinel imports repro.service, so the
+        # dependency must stay one-way at module-load time.
+        from repro.sentinel.attacks import inject_attack
+        from repro.sentinel.plane import SentinelPlane
+
+        events, schedule = inject_attack(
+            events,
+            scenario.job,
+            kind=attack,
+            onset_epoch=attack_epoch,
+            epoch_max_events=epoch_max_events,
+            seed=attack_seed if attack_seed is not None else seed,
+        )
+        schedule["seed"] = attack_seed if attack_seed is not None else seed
+        sentinel = SentinelPlane()
     # until-complete so epochs actually cover the job and exercise the
     # payment phase — a voided epoch skips tree_payments entirely and
     # would make the latency numbers flattering.
@@ -160,7 +234,13 @@ def run_service_bench(
         epoch_max_ticks=epoch_max_ticks,
         shard_workers=shard_workers,
     )
-    service = MechanismService(mechanism, scenario.job, config)
+    service = MechanismService(
+        mechanism,
+        scenario.job,
+        config,
+        sentinel=sentinel,
+        meta_extra={"attack": schedule} if schedule is not None else None,
+    )
     t_start = time.perf_counter()
     report = service.serve_stream(events, open_loop=True)
     elapsed = time.perf_counter() - t_start
@@ -169,7 +249,7 @@ def run_service_bench(
 
     latencies = [epoch.latency_seconds for epoch in report.epochs]
     completed = sum(1 for epoch in report.epochs if epoch.outcome.completed)
-    return {
+    doc: Dict[str, Any] = {
         "config": {
             "users": users,
             "types": types,
@@ -181,6 +261,7 @@ def run_service_bench(
             "withdraw_fraction": withdraw_fraction,
             "engine": engine,
             "shard_workers": shard_workers,
+            "graph": graph,
         },
         "events": {
             "generated": len(events),
@@ -188,6 +269,7 @@ def run_service_bench(
             "accepted": report.accepted,
             "invalid": report.invalid,
             "rejected": report.rejected,
+            "gated": report.gated,
             "applied": report.applied,
             "refused": report.refused,
         },
@@ -208,3 +290,10 @@ def run_service_bench(
         # section (schema-validated separately).
         "slo": service.telemetry.slo_summary(),
     }
+    if sentinel is not None and schedule is not None:
+        from repro.sentinel.harness import sentinel_section_for_run
+
+        doc["sentinel"] = sentinel_section_for_run(
+            sentinel, schedule, graph=graph
+        )
+    return doc

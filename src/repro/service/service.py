@@ -24,7 +24,10 @@ from __future__ import annotations
 import asyncio
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from typing import TYPE_CHECKING, Dict, Iterable, List, Mapping, Optional
+
+if TYPE_CHECKING:  # runtime decoupled: repro.sentinel imports repro.service
+    from repro.sentinel.plane import SentinelPlane
 
 from repro.core.exceptions import ConfigurationError
 from repro.core.outcome import MechanismOutcome
@@ -87,6 +90,7 @@ class ServiceReport:
     accepted: int = 0
     invalid: int = 0
     rejected: int = 0
+    gated: int = 0
     queue_highwater: int = 0
 
     def outcomes(self) -> List[MechanismOutcome]:
@@ -105,6 +109,8 @@ class MechanismService:
         tracer: Optional[NullTracer] = None,
         ledger: Optional[OutcomeLedger] = None,
         telemetry: Optional[ServiceTelemetry] = None,
+        sentinel: Optional["SentinelPlane"] = None,
+        meta_extra: Optional[Mapping[str, object]] = None,
     ) -> None:
         if mechanism.rng_policy != "per-type":
             raise ConfigurationError(
@@ -118,11 +124,19 @@ class MechanismService:
         self.job = job
         self.ledger = ledger
         self.telemetry = telemetry if telemetry is not None else ServiceTelemetry()
+        #: Optional sentinel plane: a read-only observer of applied
+        #: events and epoch closes, plus (opt-in) the frontend admission
+        #: gate — served outcomes are untouched either way.
+        self.sentinel = sentinel
+        #: Extra ledger-meta entries (e.g. the attack injection schedule)
+        #: merged over the config meta so replays carry the full record.
+        self.meta_extra = dict(meta_extra) if meta_extra else {}
         self.frontend = IngestFrontend(
             job,
             maxsize=self.config.queue_size,
             tracer=self.tracer,
             telemetry=self.telemetry,
+            gatekeeper=sentinel.admission_gate() if sentinel is not None else None,
         )
         #: The live pipeline of the current :meth:`serve` call (exposed so
         #: the HTTP probes can report batching/state progress).
@@ -170,6 +184,8 @@ class MechanismService:
                 if refused is None:
                     report.applied += 1
                     telemetry.events_applied += 1
+                    if self.sentinel is not None:
+                        self.sentinel.observe_applied(event)
                     if tracing:
                         tracer.count("service_events_applied")
                 else:
@@ -194,6 +210,7 @@ class MechanismService:
         report.accepted = self.frontend.accepted
         report.invalid = self.frontend.invalid
         report.rejected = self.frontend.rejected
+        report.gated = self.frontend.gated
         report.queue_highwater = self.frontend.highwater
         return report
 
@@ -238,6 +255,16 @@ class MechanismService:
             )
             for name, value in frame["gauges"].items():
                 self.tracer.observe(name, value, epoch=index)
+        if self.sentinel is not None:
+            frame["sentinel"] = {
+                "alerts": self.sentinel.close_epoch(
+                    index=index,
+                    outcome=outcome,
+                    participants=snapshot.asks,
+                    gauges=frame["gauges"],
+                ),
+                "status": self.sentinel.status(),
+            }
         report.epochs.append(
             EpochResult(
                 index=index,
@@ -249,7 +276,7 @@ class MechanismService:
         )
 
     def _meta(self) -> Dict[str, object]:
-        return {
+        meta: Dict[str, object] = {
             "seed": self.config.seed,
             "queue_size": self.config.queue_size,
             "epoch_max_events": self.config.epoch_max_events,
@@ -260,6 +287,8 @@ class MechanismService:
             "round_budget": self.mechanism.round_budget,
             "job_counts": list(self.job.counts),
         }
+        meta.update(self.meta_extra)
+        return meta
 
     # ------------------------------------------------------------------ #
     # Producers and one-shot drivers

@@ -125,6 +125,27 @@ def render_frames(payload: Mapping[str, Any]) -> str:
                 f"{_ms(summary['p95']):>8}  {_ms(summary['p99']):>8}  "
                 f"{_ms(summary['max']):>8}"
             )
+    sentinel = payload.get("sentinel")
+    if sentinel:
+        lines.append("")
+        total = sentinel.get("alerts_total", 0)
+        if total:
+            counts = sentinel.get("alert_counts", {})
+            detail = ", ".join(
+                f"{name}={counts[name]}" for name in sorted(counts)
+            )
+            last = sentinel.get("last_alert") or {}
+            lines.append(
+                f"sentinel: {total} alert(s) [{detail}] — last: "
+                f"{last.get('detector', '?')} @ epoch {last.get('epoch', '?')}"
+            )
+        else:
+            lines.append(
+                f"sentinel: quiet ({sentinel.get('epochs_seen', 0)} epochs watched)"
+            )
+        gated = sentinel.get("gated", 0)
+        if gated:
+            lines.append(f"sentinel: {gated} event(s) gated by reputation floor")
     phase = payload.get("phase")
     if phase:
         lines.append("")

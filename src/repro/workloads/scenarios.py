@@ -9,7 +9,7 @@ example: areas with points of interest) and environmental monitoring.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional
 
 
 from repro.core.exceptions import ConfigurationError
@@ -80,6 +80,7 @@ def paper_scenario(
     distribution: UserDistribution = PAPER_USERS,
     mean_out_degree: float = 12.0,
     supply_threshold: bool = False,
+    graph_builder: Optional[Callable[..., SocialGraph]] = None,
 ) -> Scenario:
     """The §7-A evaluation setup at an arbitrary scale.
 
@@ -87,6 +88,13 @@ def paper_scenario(
     the spanning-forest incentive tree, and samples the paper's user
     profile distribution.  The default job is the Fig. 6(a) one
     (10 types × 5000 tasks) — pass a smaller job for laptop-scale runs.
+
+    ``graph_builder`` swaps the social-graph regime: any
+    ``(num_users, rng=...) -> SocialGraph`` callable (e.g.
+    :func:`repro.socialnet.generators.watts_strogatz` or
+    :func:`~repro.socialnet.generators.forest_fire`) replaces the
+    twitter-like default, consuming the same spawned graph RNG stream so
+    the user population is unchanged across regimes.
 
     With ``supply_threshold=True`` the solicitation stops at the
     Remark 6.1 threshold — as soon as the joined users can place ``2·m_i``
@@ -99,7 +107,12 @@ def paper_scenario(
     gen = as_generator(rng)
     graph_rng, user_rng = spawn(gen, 2)
     job = job if job is not None else uniform_job()
-    graph = twitter_like(num_users, rng=graph_rng, mean_out_degree=mean_out_degree)
+    if graph_builder is not None:
+        graph = graph_builder(num_users, rng=graph_rng)
+    else:
+        graph = twitter_like(
+            num_users, rng=graph_rng, mean_out_degree=mean_out_degree
+        )
     population = distribution.sample(num_users, user_rng)
     if supply_threshold:
         from repro.tree.growth import grow_tree

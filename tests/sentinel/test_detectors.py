@@ -1,0 +1,132 @@
+"""Streaming detector folds (`repro.sentinel.detectors`)."""
+
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.sentinel.detectors import (
+    DepthAnomalyDetector,
+    PriceDriftDetector,
+    RollingBaseline,
+    SentinelConfig,
+    WinRateDriftDetector,
+    WithdrawalSpikeDetector,
+)
+
+CFG = SentinelConfig(warmup_epochs=2, baseline_window=4)
+
+
+class TestSentinelConfig:
+    def test_defaults_are_valid(self):
+        SentinelConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"warmup_epochs": 0},
+            {"baseline_window": 1, "warmup_epochs": 2},
+            {"depth_jump": 0},
+            {"win_rate_drift": 0.0},
+            {"withdrawal_spike_factor": 1.0},
+            {"withdrawal_spike_min": 0},
+            {"price_drift_ratio": 0.0},
+            {"reputation_penalty": 0},
+            {"reputation_floor": 0.0},
+            {"admission_floor": 1.5},
+            {"alert_ring": 0},
+        ],
+    )
+    def test_bad_values_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            SentinelConfig(**kwargs)
+
+
+class TestRollingBaseline:
+    def test_window_is_bounded(self):
+        baseline = RollingBaseline(3)
+        for value in (1.0, 2.0, 3.0, 4.0):
+            baseline.push(value)
+        assert baseline.size == 3
+        assert baseline.mean() == pytest.approx(3.0)
+        assert baseline.maximum() == 4.0
+
+
+class TestDepthAnomaly:
+    def test_silent_during_warmup(self):
+        detector = DepthAnomalyDetector(CFG)
+        assert detector.update(0, 100.0) is None  # huge but unwarmed
+
+    def test_jump_past_window_maximum_alerts(self):
+        detector = DepthAnomalyDetector(CFG)
+        for epoch, depth in enumerate((3.0, 3.0, 4.0)):
+            assert detector.update(epoch, depth) is None
+        alert = detector.update(3, 4.0 + CFG.depth_jump)
+        assert alert is not None
+        assert alert["detector"] == "depth_anomaly"
+        assert alert["epoch"] == 3
+        assert alert["baseline"] == 4.0
+
+    def test_gradual_growth_stays_quiet(self):
+        detector = DepthAnomalyDetector(CFG)
+        for epoch in range(12):  # one level per epoch: honest BFS growth
+            assert detector.update(epoch, float(epoch)) is None
+
+
+class TestWinRateDrift:
+    def test_needs_a_full_window_per_depth(self):
+        detector = WinRateDriftDetector(CFG)
+        # window=4: three stable epochs are not enough history to judge.
+        for epoch in range(3):
+            assert detector.update(epoch, {"win_rate/depth1": 0.5}) is None
+        assert detector.update(3, {"win_rate/depth1": 1.0}) is None
+
+    def test_drift_past_threshold_alerts_worst_depth(self):
+        detector = WinRateDriftDetector(CFG)
+        for epoch in range(4):
+            gauges = {"win_rate/depth1": 0.5, "win_rate/depth2": 0.4}
+            assert detector.update(epoch, gauges) is None
+        alert = detector.update(
+            4, {"win_rate/depth1": 0.6, "win_rate/depth2": 1.0}
+        )
+        assert alert is not None
+        assert "win_rate/depth2" in alert["detail"]
+
+    def test_vanishing_depths_never_hold_a_baseline(self):
+        detector = WinRateDriftDetector(CFG)
+        for epoch in range(10):  # a different depth every epoch
+            gauges = {f"win_rate/depth{epoch}": 1.0}
+            assert detector.update(epoch, gauges) is None
+
+
+class TestWithdrawalSpike:
+    def test_spike_over_quiet_baseline_alerts(self):
+        detector = WithdrawalSpikeDetector(CFG)
+        for epoch in range(4):
+            assert detector.update(epoch, 1) is None
+        alert = detector.update(4, CFG.withdrawal_spike_min)
+        assert alert is not None
+        assert alert["detector"] == "withdrawal_spike"
+
+    def test_small_spike_below_absolute_floor_stays_quiet(self):
+        detector = WithdrawalSpikeDetector(CFG)
+        for epoch in range(4):
+            assert detector.update(epoch, 0) is None
+        # 4x a zero mean, but below withdrawal_spike_min.
+        assert detector.update(4, CFG.withdrawal_spike_min - 1) is None
+
+
+class TestPriceDrift:
+    def test_price_spike_alerts(self):
+        detector = PriceDriftDetector(CFG)
+        for epoch in range(4):
+            assert detector.update(epoch, 5.0, 10) is None
+        alert = detector.update(4, 5.0 * (1.0 + CFG.price_drift_ratio), 10)
+        assert alert is not None
+        assert alert["detector"] == "price_drift"
+
+    def test_empty_epochs_do_not_poison_the_baseline(self):
+        detector = PriceDriftDetector(CFG)
+        for epoch in range(4):
+            assert detector.update(epoch, 5.0, 10) is None
+        for epoch in range(4, 8):  # ask-free epochs: skipped entirely
+            assert detector.update(epoch, 0.0, 0) is None
+        assert detector.baseline.mean() == pytest.approx(5.0)

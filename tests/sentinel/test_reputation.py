@@ -1,0 +1,60 @@
+"""Beta-reputation fold (`repro.sentinel.reputation`)."""
+
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.sentinel.reputation import ReputationBook
+
+
+class TestReputationBook:
+    def test_unobserved_user_has_no_score(self):
+        assert ReputationBook().score(7) is None
+
+    def test_posterior_mean_fold(self):
+        book = ReputationBook()
+        book.observe_epoch(participants=[1, 2], winners=[1])
+        assert book.score(1) == (1 + 1) / (1 + 0 + 2)  # α=1, β=0
+        assert book.score(2) == (0 + 1) / (0 + 1 + 2)  # α=0, β=1
+
+    def test_scores_stay_in_open_unit_interval(self):
+        book = ReputationBook()
+        for _ in range(50):
+            book.observe_epoch(participants=[1, 2], winners=[1])
+        assert 0.0 < book.score(2) < book.score(1) < 1.0
+
+    def test_withdrawal_penalty_is_weighted(self):
+        book = ReputationBook(withdrawal_penalty=3)
+        book.observe_withdrawal(5)
+        assert book.score(5) == (0 + 1) / (0 + 3 + 2)
+
+    def test_bad_penalty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ReputationBook(withdrawal_penalty=0)
+
+    def test_fold_is_order_insensitive_per_epoch(self):
+        a, b = ReputationBook(), ReputationBook()
+        a.observe_epoch(participants=[1, 2, 3], winners=[2])
+        b.observe_epoch(participants=[3, 1, 2], winners=[2])
+        assert a.to_dict() == b.to_dict()
+
+    def test_summary_folds_in_sorted_id_order(self):
+        book = ReputationBook()
+        book.observe_epoch(participants=[9, 1, 5], winners=[1])
+        summary = book.summary(floor=0.4)
+        assert summary["users"] == 3.0
+        assert summary["flagged"] == 2.0  # losers sit at 1/3 < 0.4
+        assert summary["minimum"] == pytest.approx(1 / 3)
+
+    def test_empty_summary_is_the_prior(self):
+        summary = ReputationBook().summary(floor=0.25)
+        assert summary == {
+            "users": 0.0, "mean": 0.5, "minimum": 0.5, "flagged": 0.0,
+        }
+
+    def test_round_trip(self):
+        book = ReputationBook(withdrawal_penalty=2)
+        book.observe_epoch(participants=[1, 2], winners=[1])
+        book.observe_withdrawal(2)
+        clone = ReputationBook.from_dict(book.to_dict())
+        assert clone.to_dict() == book.to_dict()
+        assert clone.score(2) == book.score(2)

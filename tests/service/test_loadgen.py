@@ -6,6 +6,7 @@ from repro.core.exceptions import ConfigurationError
 from repro.devtools.bench import validate_bench_schema
 from repro.service.events import AskSubmitted, ReferralEdge, Withdrawal
 from repro.service.loadgen import (
+    GRAPH_REGIMES,
     build_scenario,
     run_service_bench,
     scenario_event_stream,
@@ -70,6 +71,64 @@ class TestScenarioEventStream:
         scenario = build_scenario(20, 2, 3, 1)
         with pytest.raises(ConfigurationError):
             scenario_event_stream(scenario, 7, max_gap_ticks=-1)
+
+
+class TestGraphRegimes:
+    def test_cli_choices_match_the_registry(self):
+        from repro.cli import _GRAPH_REGIME_NAMES
+
+        assert set(_GRAPH_REGIME_NAMES) == set(GRAPH_REGIMES)
+
+    def test_unknown_regime_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_scenario(60, 3, 5, 1, graph="bipartite")
+
+    @pytest.mark.parametrize("graph", sorted(GRAPH_REGIMES))
+    def test_regimes_are_deterministic(self, graph):
+        a = build_scenario(60, 3, 5, 1, graph=graph)
+        b = build_scenario(60, 3, 5, 1, graph=graph)
+        assert a.tree.to_parent_map() == b.tree.to_parent_map()
+
+    def test_regime_changes_forest_not_population(self):
+        default = build_scenario(60, 3, 5, 1)
+        rewired = build_scenario(60, 3, 5, 1, graph="watts-strogatz")
+        # Same spawned user RNG stream: identical profiles either way.
+        assert rewired.truthful_asks().keys() == default.truthful_asks().keys()
+        assert {
+            uid: default.population[uid].cost for uid in default.truthful_asks()
+        } == {
+            uid: rewired.population[uid].cost for uid in rewired.truthful_asks()
+        }
+        assert rewired.tree.to_parent_map() != default.tree.to_parent_map()
+
+    def test_twitter_regime_is_the_historical_default(self):
+        named = build_scenario(60, 3, 5, 1, graph="twitter")
+        default = build_scenario(60, 3, 5, 1)
+        assert named.tree.to_parent_map() == default.tree.to_parent_map()
+
+
+class TestAttackBench:
+    def test_attack_run_emits_schema_valid_sentinel_section(self):
+        section = run_service_bench(
+            users=400, types=3, tasks_per_type=6, seed=5,
+            epoch_max_events=32, withdraw_fraction=0.0,
+            graph="watts-strogatz", attack="collusion", attack_epoch=5,
+            attack_seed=202, min_events=0,
+        )
+        from repro.devtools.bench import _validate_sentinel_section
+
+        sentinel = section["sentinel"]
+        assert _validate_sentinel_section(sentinel) == []
+        assert sentinel["detection_within_k"] is True
+        entry = sentinel["attacks"][0]
+        assert entry["kind"] == "collusion"
+        assert entry["graph"] == "watts-strogatz"
+        assert entry["schedule"]["seed"] == 202
+        assert section["events"]["gated"] == 0
+
+    def test_clean_run_has_no_sentinel_section(self):
+        section = run_service_bench(**{**BENCH_TINY, "min_events": 0})
+        assert "sentinel" not in section
 
 
 class TestRunServiceBench:
