@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test lint analyze typecheck check trace trace-smoke serve serve-smoke metrics-smoke sentinel sentinel-smoke loadgen bench bench-smoke bench-pytest bench-json smoke paper report examples clean
+.PHONY: install test lint analyze typecheck check trace trace-smoke serve serve-smoke metrics-smoke sentinel sentinel-smoke arena arena-smoke loadgen bench bench-smoke bench-pytest bench-json smoke paper report examples clean
 
 install:
 	pip install -e .
@@ -75,6 +75,19 @@ sentinel:
 sentinel-smoke:
 	PYTHONPATH=src $(PY) -m repro sentinel --smoke
 
+# Head-to-head mechanism arena (docs/arena.md): the full registry roster
+# (RIT, OMG, GLT, the §4 baselines) replayed over one pinned seeded
+# stream, clean + attacked, twice — the scorecard must be bit-identical,
+# GLT's budget exact to the cent, and RIT minimal on sybil gain.
+# `rit arena --bench` merges the section into BENCH_RIT.json.
+arena:
+	PYTHONPATH=src $(PY) -m repro arena
+
+# CI gate (<30s): the four-mechanism acceptance roster on a smaller
+# stream, same gates.
+arena-smoke:
+	PYTHONPATH=src $(PY) -m repro arena --smoke
+
 # Open-loop service throughput/latency (merge into BENCH_RIT.json with
 # `rit loadgen --bench`).
 loadgen:
@@ -83,8 +96,9 @@ loadgen:
 # The full gate new PRs must pass: domain lint + whole-program analysis
 # + types + tier-1 tests + the trace schema smoke + the service
 # differential smoke + the columnar bench schema smoke + the live
-# telemetry endpoint smoke + the live-adversary sentinel smoke.
-check: lint analyze typecheck test trace-smoke serve-smoke bench-smoke metrics-smoke sentinel-smoke
+# telemetry endpoint smoke + the live-adversary sentinel smoke + the
+# head-to-head arena smoke.
+check: lint analyze typecheck test trace-smoke serve-smoke bench-smoke metrics-smoke sentinel-smoke arena-smoke
 
 # Fast perf baseline: times the scaling workload on both auction engines
 # and refreshes BENCH_RIT.json (the committed perf trajectory).

@@ -22,13 +22,17 @@ import os
 import numpy as np
 
 from repro import RIT, Job
-from repro.baselines import mit_referral_rewards
+from repro.arena import create_mechanism
 from repro.workloads import paper_scenario
 from repro.workloads.users import UserDistribution
 
 # Explicit root seed: every run is a pure function of it.  Override
 # with RIT_SEED=... to explore other instances reproducibly.
 SEED = int(os.environ.get("RIT_SEED", "1969"))
+
+# The MIT geometric referral rule, fetched from the arena registry — the
+# same entry `rit arena --mechanisms mit-referral` replays head-to-head.
+mit_referral_rewards = create_mechanism("mit-referral").reward_function
 
 NUM_BALLOONS = 10
 CONFIRMATIONS_PER_BALLOON = 8  # independent sightings wanted per balloon

@@ -18,8 +18,8 @@ import os
 import numpy as np
 
 from repro import RIT
+from repro.arena import create_mechanism
 from repro.attacks import SybilAttack, compare_sybil_attack
-from repro.baselines import mit_referral_rewards
 from repro.core.types import Job
 from repro.tree import IncentiveTree, ROOT
 from repro.workloads import paper_scenario
@@ -28,6 +28,10 @@ from repro.workloads.users import UserDistribution
 # Explicit root seed: every run is a pure function of it.  Override
 # with RIT_SEED=... to explore other instances reproducibly.
 SEED = int(os.environ.get("RIT_SEED", "5"))
+
+# The MIT geometric referral rule, fetched from the arena registry — the
+# same entry `rit arena --mechanisms mit-referral` replays head-to-head.
+mit_referral_rewards = create_mechanism("mit-referral").reward_function
 
 
 def part1_darpa() -> None:

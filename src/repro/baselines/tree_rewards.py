@@ -84,8 +84,25 @@ def lv_moscibroda_rewards(
     ``p_j = 2·c_j + ln(1 - c_j / S)`` with ``S = Σ_i c_i`` and the log
     argument clamped below at ``1/(1 + S)``.  Nodes with zero contribution
     receive 0 (``ln(1) = 0``), matching the paper's Fig. 3 honest case.
+
+    A sole contributor hits the normalizer edge case ``c_j == S``: the raw
+    log argument is 0, so the clamp takes over and the reward is
+    ``2·c − ln(1 + c)``.  Negative contributions are a caller bug (the
+    rule is defined over payments, which are non-negative) and raise
+    :class:`ConfigurationError` rather than silently feeding ``ln`` a
+    negative argument.
     """
-    total = sum(max(0.0, contributions.get(node, 0.0)) for node in tree.nodes())
+    negative = [
+        node
+        for node in tree.nodes()
+        if contributions.get(node, 0.0) < 0.0
+    ]
+    if negative:
+        raise ConfigurationError(
+            f"contributions must be non-negative, got negative values for "
+            f"nodes {sorted(negative)}"
+        )
+    total = sum(contributions.get(node, 0.0) for node in tree.nodes())
     rewards: Dict[int, float] = {}
     for node in tree.nodes():
         c = contributions.get(node, 0.0)

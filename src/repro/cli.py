@@ -32,6 +32,12 @@ Subcommands
                           served outcomes must match the offline replay
                           (``--bench`` merges the ``sentinel`` section into
                           ``BENCH_RIT.json``; ``--smoke`` is the CI preset).
+``rit arena``             replay one pinned seeded stream (clean + attacked)
+                          through rival mechanisms (RIT, OMG, GLT, the §4
+                          reward rules) under identical epoch cuts and print
+                          the head-to-head scorecard (``--bench`` merges the
+                          ``arena`` section into ``BENCH_RIT.json``;
+                          ``--smoke`` is the CI preset).
 ``rit lint``              run the AST-based domain linter over the tree
                           (also: ``python -m repro.devtools.lint``).
 ``rit analyze``           run the whole-program determinism & concurrency
@@ -56,6 +62,12 @@ __all__ = ["main", "build_parser"]
 # Mirrors repro.service.loadgen.GRAPH_REGIMES without importing the
 # service stack at parser-build time (handlers import lazily).
 _GRAPH_REGIME_NAMES = ("twitter", "watts-strogatz", "forest-fire")
+
+# Mirrors repro.arena.registry.MECHANISM_NAMES without importing the
+# arena stack at parser-build time (pinned by tests/arena).
+_MECHANISM_NAMES = (
+    "rit", "omg", "glt", "mit-referral", "lv-moscibroda", "pachira",
+)
 
 _EXPERIMENTS = {
     "fig6a": exp.fig6a,
@@ -381,6 +393,56 @@ def build_parser() -> argparse.ArgumentParser:
         help="merge the ``sentinel`` section into the bench doc",
     )
     p_sentinel.add_argument(
+        "--out", default="BENCH_RIT.json",
+        help="bench document to merge into (with --bench)",
+    )
+
+    p_arena = sub.add_parser(
+        "arena",
+        help="replay one seeded stream through rival mechanisms head-to-head",
+    )
+    p_arena.add_argument(
+        "--mechanisms", action="append", choices=list(_MECHANISM_NAMES),
+        default=None, metavar="NAME",
+        help="mechanism roster (repeatable; default: the full registry, "
+        f"{', '.join(_MECHANISM_NAMES)})",
+    )
+    p_arena.add_argument("--seed", type=int, default=None,
+                         help="stream root seed (default: the pinned match)")
+    p_arena.add_argument("--users", type=int, default=None)
+    p_arena.add_argument("--types", type=int, default=None)
+    p_arena.add_argument("--tasks-per-type", type=int, default=None)
+    p_arena.add_argument(
+        "--epoch-events", type=int, default=None,
+        help="count-trigger epoch size shared by every mechanism",
+    )
+    p_arena.add_argument(
+        "--attack", choices=["sybil", "collusion", "churn"], default=None,
+        help="seeded adversary burst spliced into the attacked stream",
+    )
+    p_arena.add_argument(
+        "--attack-epoch", type=int, default=None,
+        help="epoch index the injected burst lands at",
+    )
+    p_arena.add_argument("--attack-seed", type=int, default=None,
+                         help="attack RNG seed")
+    p_arena.add_argument(
+        "--runs", type=int, default=2,
+        help="full replays compared for bit-identity (default 2)",
+    )
+    p_arena.add_argument(
+        "--smoke", action="store_true",
+        help="the small pinned CI match (rit/omg/glt/lv-moscibroda)",
+    )
+    p_arena.add_argument(
+        "--json", action="store_true",
+        help="print the arena section as JSON instead of the table",
+    )
+    p_arena.add_argument(
+        "--bench", action="store_true",
+        help="merge the ``arena`` section into the bench doc",
+    )
+    p_arena.add_argument(
         "--out", default="BENCH_RIT.json",
         help="bench document to merge into (with --bench)",
     )
@@ -1059,6 +1121,67 @@ def _cmd_sentinel(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_arena(args: argparse.Namespace) -> int:
+    from dataclasses import replace as _replace
+
+    from repro.arena.harness import (
+        ARENA_BENCH_PRESET,
+        ARENA_SMOKE_PRESET,
+        render_arena_report,
+        run_arena_report,
+    )
+    from repro.devtools.bench import validate_bench_schema, write_bench
+
+    config = ARENA_SMOKE_PRESET if args.smoke else ARENA_BENCH_PRESET
+    overrides = {
+        "seed": args.seed,
+        "users": args.users,
+        "types": args.types,
+        "tasks_per_type": args.tasks_per_type,
+        "epoch_max_events": args.epoch_events,
+        "attack": args.attack,
+        "attack_epoch": args.attack_epoch,
+        "attack_seed": args.attack_seed,
+    }
+    overrides = {key: val for key, val in overrides.items() if val is not None}
+    if args.mechanisms:
+        overrides["mechanisms"] = tuple(dict.fromkeys(args.mechanisms))
+    if overrides:
+        config = _replace(config, **overrides)
+    section, problems = run_arena_report(config, runs=max(1, args.runs))
+    if args.json:
+        print(json.dumps(section, indent=2, sort_keys=True))
+    else:
+        print(render_arena_report(section))
+    if problems:
+        print()
+        print("PROBLEMS:")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    if args.bench:
+        try:
+            with open(args.out, "r", encoding="utf-8") as handle:
+                doc = json.load(handle)
+        except FileNotFoundError:
+            doc = {}
+        doc["arena"] = section
+        if "schema_version" in doc:
+            errors = validate_bench_schema(doc)
+        else:
+            from repro.devtools.bench import _validate_arena_section
+
+            errors = _validate_arena_section(section)
+        if errors:
+            print(f"refusing to write {args.out}: merged doc is invalid:")
+            for error in errors:
+                print(f"  {error}")
+            return 1
+        write_bench(doc, args.out)
+        print(f"arena section merged -> {args.out}")
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.devtools.lint.cli import run as run_lint
 
@@ -1086,6 +1209,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "top": _cmd_top,
         "loadgen": _cmd_loadgen,
         "sentinel": _cmd_sentinel,
+        "arena": _cmd_arena,
         "lint": _cmd_lint,
         "analyze": _cmd_analyze,
     }

@@ -58,6 +58,9 @@ HOT_MODULES = (
     "repro.service.epochs",
     "repro.service.service",
     "repro.sentinel.plane",
+    "repro.arena.omg",
+    "repro.arena.glt",
+    "repro.arena.harness",
 )
 
 #: Minimum body size before RIT013 demands instrumentation.

@@ -371,6 +371,8 @@ def validate_bench_schema(doc: Any) -> List[str]:
         errors.extend(_validate_analysis_section(doc["analysis"]))
     if "sentinel" in doc:
         errors.extend(_validate_sentinel_section(doc["sentinel"]))
+    if "arena" in doc:
+        errors.extend(_validate_arena_section(doc["arena"]))
     return errors
 
 
@@ -721,5 +723,147 @@ def _validate_sentinel_section(section: Any) -> List[str]:
             errors.append(
                 f"sentinel.{key} must be true — the committed document is "
                 "the live-adversary acceptance record"
+            )
+    return errors
+
+
+# Mirrors repro.arena.registry.MECHANISM_NAMES without importing the
+# arena stack into the bench validator (pinned by tests/arena).
+_ARENA_MECHANISMS = (
+    "rit", "omg", "glt", "mit-referral", "lv-moscibroda", "pachira",
+)
+
+
+def _validate_arena_section(section: Any) -> List[str]:
+    """Schema of the optional ``arena`` section (``rit arena --bench``).
+
+    The section is the head-to-head acceptance record: one pinned seeded
+    stream (clean + one attack schedule) replayed through at least four
+    registered mechanisms including ``rit``, with a bit-identical rerun
+    proof, matching stream fingerprints for every mechanism, exact
+    budget consistency wherever a mechanism declares a budget, and RIT
+    winning or tying on sybil gain.  A committed document violating any
+    of those verdicts is a regression, exactly like
+    ``sentinel.detection_within_k``.
+    """
+    errors: List[str] = []
+    if not isinstance(section, dict):
+        return ["arena is not an object"]
+    config = section.get("config")
+    if not isinstance(config, dict):
+        errors.append("arena.config is not an object")
+        config = {}
+    for key in ("users", "types", "tasks_per_type", "epoch_max_events"):
+        value = config.get(key)
+        if not isinstance(value, int) or isinstance(value, bool) or value <= 0:
+            errors.append(f"arena.config.{key} must be a positive int")
+    if config.get("attack") not in ("sybil", "collusion", "churn"):
+        errors.append("arena.config.attack must be one of sybil/collusion/churn")
+    stream = section.get("stream")
+    if not isinstance(stream, dict):
+        errors.append("arena.stream is not an object")
+        stream = {}
+    for key in ("clean_sha256", "attacked_sha256"):
+        value = stream.get(key)
+        if not isinstance(value, str) or len(value) != 64:
+            errors.append(f"arena.stream.{key} must be a sha256 hex digest")
+    for key in ("clean_events", "attacked_events"):
+        value = stream.get(key)
+        if not isinstance(value, int) or isinstance(value, bool) or value <= 0:
+            errors.append(f"arena.stream.{key} must be a positive int")
+    if not isinstance(stream.get("schedule"), dict):
+        errors.append("arena.stream.schedule is not an object")
+    mechanisms = section.get("mechanisms")
+    if not isinstance(mechanisms, dict):
+        errors.append("arena.mechanisms is not an object")
+        mechanisms = {}
+    if len(mechanisms) < 4:
+        errors.append(
+            "arena.mechanisms must cover at least 4 mechanisms "
+            f"(got {len(mechanisms)})"
+        )
+    if "rit" not in mechanisms:
+        errors.append("arena.mechanisms must include 'rit'")
+    for name, entry in mechanisms.items():
+        where = f"arena.mechanisms.{name}"
+        if name not in _ARENA_MECHANISMS:
+            errors.append(f"{where}: unknown mechanism")
+            continue
+        if not isinstance(entry, dict):
+            errors.append(f"{where} is not an object")
+            continue
+        if entry.get("accounting") not in ("cumulative", "incremental"):
+            errors.append(
+                f"{where}.accounting must be cumulative or incremental"
+            )
+        for side in ("clean", "attacked"):
+            run = entry.get(side)
+            if not isinstance(run, dict):
+                errors.append(f"{where}.{side} is not an object")
+                continue
+            for key in ("epochs", "completed_epochs", "tasks_allocated"):
+                value = run.get(key)
+                if (
+                    not isinstance(value, int)
+                    or isinstance(value, bool)
+                    or value < 0
+                ):
+                    errors.append(
+                        f"{where}.{side}.{key} must be a non-negative int"
+                    )
+            for key in ("total_payment", "auction_payment", "platform_utility"):
+                if not isinstance(run.get(key), float):
+                    errors.append(f"{where}.{side}.{key} must be a float")
+            sha = run.get("stream_sha256")
+            if not isinstance(sha, str) or len(sha) != 64:
+                errors.append(
+                    f"{where}.{side}.stream_sha256 must be a sha256 hex digest"
+                )
+            elif isinstance(stream.get(f"{side}_sha256"), str) and (
+                sha != stream[f"{side}_sha256"]
+            ):
+                errors.append(
+                    f"{where}.{side}.stream_sha256 diverges from the match "
+                    "reference — the mechanism saw a different stream"
+                )
+        budget = entry.get("budget")
+        if not isinstance(budget, dict):
+            errors.append(f"{where}.budget is not an object")
+        elif budget.get("checked") is True and budget.get("consistent") is not True:
+            errors.append(
+                f"{where}.budget.consistent must be true — the committed "
+                "document is the budget-consistency acceptance record"
+            )
+    determinism = section.get("determinism")
+    if not isinstance(determinism, dict):
+        errors.append("arena.determinism is not an object")
+    else:
+        runs = determinism.get("runs")
+        if not isinstance(runs, int) or isinstance(runs, bool) or runs < 2:
+            errors.append("arena.determinism.runs must be an int >= 2")
+        if determinism.get("bit_identical") is not True:
+            errors.append(
+                "arena.determinism.bit_identical must be true — a committed "
+                "non-deterministic scorecard is a regression"
+            )
+        sha = determinism.get("canonical_sha256")
+        if not isinstance(sha, str) or len(sha) != 64:
+            errors.append(
+                "arena.determinism.canonical_sha256 must be a sha256 hex digest"
+            )
+    gains = section.get("sybil_gains")
+    if gains is not None:
+        if not isinstance(gains, dict):
+            errors.append("arena.sybil_gains is not an object")
+        else:
+            for name, gain in gains.items():
+                if not isinstance(gain, float):
+                    errors.append(
+                        f"arena.sybil_gains.{name} must be a float"
+                    )
+        if section.get("rit_sybil_gain_minimal") is not True:
+            errors.append(
+                "arena.rit_sybil_gain_minimal must be true — RIT must win "
+                "or tie on sybil gain in the committed scorecard"
             )
     return errors

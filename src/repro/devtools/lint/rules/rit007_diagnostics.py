@@ -24,7 +24,11 @@ deliberately *outside* the scope: ``repro.service.loadgen`` wraps the
 whole service run with ``time.perf_counter`` (a bench harness, not a
 traced path), ``repro.service.top`` is an interactive terminal client
 that legitimately sleeps between polls, and ``repro.sentinel.harness``
-is the bench/CLI driver for the live-adversary gate.
+is the bench/CLI driver for the live-adversary gate.  The arena's
+mechanism and replay modules (``repro.arena.protocol`` / ``omg`` /
+``glt`` / ``harness``) are *in* scope — scorecard latency is measured on
+the tracer clock so reruns stay comparable — while
+``repro.arena.registry`` is a pure factory table with nothing to trace.
 """
 
 from __future__ import annotations
@@ -93,6 +97,10 @@ class RawDiagnostics(Rule):
         "repro.sentinel.detectors",
         "repro.sentinel.plane",
         "repro.sentinel.reputation",
+        "repro.arena.protocol",
+        "repro.arena.omg",
+        "repro.arena.glt",
+        "repro.arena.harness",
     )
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:

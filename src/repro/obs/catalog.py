@@ -62,6 +62,11 @@ COUNTER_CATALOG: Dict[str, Tuple[str, str]] = {
     "service_shards_run": ("count", "per-type auction shards executed by workers"),
     # repro.sentinel — streaming attack detectors
     "sentinel_alerts": ("count", "anomaly alerts raised by the sentinel detector plane"),
+    # repro.arena — head-to-head mechanism arena
+    "arena_replays": ("count", "full stream replays executed by the arena harness"),
+    "arena_epochs_run": ("count", "epochs executed across arena replays"),
+    "arena_posted_wins": ("count", "posted-price wins granted by the OMG mechanism"),
+    "arena_lottery_payouts": ("count", "identities paid by a settled GLT lottery epoch"),
     # repro.simulation.report
     "figures_rendered": ("count", "report figures rendered"),
     "shape_checks_passed": ("count", "qualitative shape checks that passed"),

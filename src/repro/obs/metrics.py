@@ -118,6 +118,10 @@ METRIC_CATALOG: Dict[str, MetricSpec] = {
         "histogram", "seconds", "latency_seconds", True,
         "one per-type auction shard's wall time on its worker",
     ),
+    "arena_epoch_seconds": MetricSpec(
+        "histogram", "seconds", "latency_seconds", True,
+        "one mechanism's wall time per epoch inside an arena replay",
+    ),
     "ingest_queue_depth": MetricSpec(
         "histogram", "count", "depth", True,
         "ingestion-queue occupancy sampled at each enqueue (scheduler-"

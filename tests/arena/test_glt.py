@@ -1,0 +1,148 @@
+"""GLT lottery tree: exact integer-cent budget consistency, by construction."""
+
+import math
+
+import pytest
+
+from repro.arena import LotteryTreeMechanism
+from repro.core.exceptions import ConfigurationError
+from repro.core.types import Ask, Job
+from repro.tree.incentive_tree import ROOT, IncentiveTree
+from repro.workloads import paper_scenario
+from repro.workloads.users import UserDistribution
+
+
+def chain_tree(ids):
+    tree = IncentiveTree()
+    parent = ROOT
+    for uid in ids:
+        tree.attach(uid, parent)
+        parent = uid
+    return tree
+
+
+class TestValidation:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            LotteryTreeMechanism(budget=0.0)
+        with pytest.raises(ConfigurationError):
+            LotteryTreeMechanism(delta=1.5)
+        with pytest.raises(ConfigurationError):
+            LotteryTreeMechanism(gamma=-0.1)
+
+    def test_declares_budget_in_cents(self):
+        assert LotteryTreeMechanism(budget=1000.0).budget_cents == 100_000
+        assert LotteryTreeMechanism(budget=12.34).budget_cents == 1234
+
+
+class TestWeights:
+    def test_solicitation_weight_decays_per_hop(self):
+        """w_1 over chain 1->2->3 with unit contributions:
+        c + δ(γ·c + γ²·c)."""
+        mech = LotteryTreeMechanism(delta=0.5, gamma=0.5)
+        tree = chain_tree([1, 2, 3])
+        weights = mech._weights(tree, {1: 1.0, 2: 1.0, 3: 1.0})
+        assert weights[1] == pytest.approx(1.0 + 0.5 * (0.5 + 0.25))
+        assert weights[2] == pytest.approx(1.0 + 0.5 * 0.5)
+        assert weights[3] == pytest.approx(1.0)
+
+    def test_zero_contribution_subtree_earns_no_weight(self):
+        mech = LotteryTreeMechanism()
+        tree = chain_tree([1, 2])
+        weights = mech._weights(tree, {1: 4.0})
+        assert weights == {1: pytest.approx(4.0)}
+
+
+class TestApportionment:
+    def test_hand_checked_largest_remainder(self):
+        """Budget 100 cents over weights 1:1:1 -> 34/33/33 (remainders
+        tie at 1/3; the extra cent goes to the smallest id)."""
+        mech = LotteryTreeMechanism(budget=1.0)
+        cents = mech._apportion({1: 1.0, 2: 1.0, 3: 1.0})
+        assert cents == {1: 34, 2: 33, 3: 33}
+
+    def test_exact_sum_across_seeded_weights(self):
+        """Whatever the weights, the cent total is the budget, exactly."""
+        import numpy as np
+
+        mech = LotteryTreeMechanism(budget=997.13)
+        rng = np.random.default_rng(11)
+        for _ in range(25):
+            n = int(rng.integers(1, 40))
+            weights = {
+                int(uid): float(w)
+                for uid, w in enumerate(rng.random(n) * 50 + 1e-6)
+            }
+            cents = mech._apportion(weights)
+            assert sum(cents.values()) == mech.budget_cents
+
+
+class TestRunEpoch:
+    def job_and_profile(self, seed=3):
+        job = Job.uniform(2, 4)
+        scenario = paper_scenario(
+            60, job, rng=seed, distribution=UserDistribution(num_types=2)
+        )
+        return job, scenario.truthful_asks(), scenario.tree
+
+    def test_settled_epoch_disburses_budget_exactly(self):
+        job, asks, tree = self.job_and_profile()
+        mech = LotteryTreeMechanism(budget=250.0)
+        outcome = mech.run_epoch(job, asks, tree, None, 0)
+        assert outcome.completed
+        cents = sum(int(round(p * 100)) for p in outcome.payments.values())
+        assert cents == mech.budget_cents
+
+    def test_exact_consistency_across_seeds(self):
+        mech = LotteryTreeMechanism(budget=777.77)
+        for seed in range(5):
+            job, asks, tree = self.job_and_profile(seed=seed)
+            outcome = mech.run_epoch(job, asks, tree, None, 0)
+            if not outcome.completed:
+                continue
+            cents = sum(int(round(p * 100)) for p in outcome.payments.values())
+            assert cents == mech.budget_cents
+
+    def test_voided_auction_settles_nothing(self):
+        """Supply below m_i voids the inner auction; no lottery runs."""
+        job = Job.uniform(1, 5)
+        tree = chain_tree([1])
+        asks = {1: Ask(task_type=0, capacity=1, value=2.0)}
+        outcome = LotteryTreeMechanism().run_epoch(job, asks, tree, None, 0)
+        assert not outcome.completed
+        assert outcome.payments == {}
+
+    def test_allocation_comes_from_the_inner_auction(self):
+        job, asks, tree = self.job_and_profile()
+        from repro.baselines import KthPriceAuction
+
+        inner = KthPriceAuction().run(job, asks, tree)
+        outcome = LotteryTreeMechanism().run_epoch(job, asks, tree, None, 0)
+        assert outcome.allocation == inner.allocation
+        assert outcome.auction_payments.keys() == inner.auction_payments.keys()
+
+    def test_solicitors_of_contributors_share_the_prize(self):
+        """An ancestor with no own contribution is still paid via δ/γ."""
+        job = Job.uniform(1, 1)
+        tree = chain_tree([1, 2, 3])
+        asks = {
+            2: Ask(task_type=0, capacity=1, value=1.0),
+            3: Ask(task_type=0, capacity=1, value=2.0),
+        }
+        mech = LotteryTreeMechanism(budget=100.0)
+        outcome = mech.run_epoch(job, asks, tree, None, 0)
+        assert outcome.completed
+        # User 2 wins (lowest ask); users 1 (solicitor) and 2 split the
+        # prize by weight; user 3 contributed nothing and gets nothing.
+        assert set(outcome.payments) == {1, 2}
+        assert outcome.payments[2] > outcome.payments[1] > 0.0
+        cents = sum(int(round(p * 100)) for p in outcome.payments.values())
+        assert cents == mech.budget_cents
+
+    def test_deterministic_given_inputs(self):
+        from repro.service.ledger import canonical_outcome
+
+        job, asks, tree = self.job_and_profile()
+        first = LotteryTreeMechanism().run_epoch(job, asks, tree, None, 0)
+        second = LotteryTreeMechanism().run_epoch(job, asks, tree, None, 0)
+        assert canonical_outcome(first) == canonical_outcome(second)

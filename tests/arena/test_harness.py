@@ -1,0 +1,154 @@
+"""Arena harness: determinism, scorecard schema, and the acceptance gates."""
+
+import json
+
+import pytest
+
+from repro.arena.harness import (
+    ARENA_BENCH_PRESET,
+    ARENA_SMOKE_PRESET,
+    ArenaConfig,
+    build_streams,
+    canonical_scorecard,
+    render_arena_report,
+    run_arena_report,
+    stream_fingerprint,
+)
+from repro.core.exceptions import ConfigurationError
+from repro.devtools.bench import _validate_arena_section
+
+
+@pytest.fixture(scope="module")
+def smoke_report():
+    return run_arena_report(ARENA_SMOKE_PRESET)
+
+
+class TestConfig:
+    def test_presets_pin_the_acceptance_roster(self):
+        assert "rit" in ARENA_BENCH_PRESET.mechanisms
+        assert len(ARENA_SMOKE_PRESET.mechanisms) >= 4
+        assert {"rit", "omg", "glt"} <= set(ARENA_SMOKE_PRESET.mechanisms)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ArenaConfig(attack="ddos")
+        with pytest.raises(ConfigurationError):
+            ArenaConfig(mechanisms=())
+
+
+class TestStreams:
+    def test_build_streams_is_pure(self):
+        job1, clean1, attacked1, sched1 = build_streams(ARENA_SMOKE_PRESET)
+        job2, clean2, attacked2, sched2 = build_streams(ARENA_SMOKE_PRESET)
+        assert stream_fingerprint(clean1) == stream_fingerprint(clean2)
+        assert stream_fingerprint(attacked1) == stream_fingerprint(attacked2)
+        assert sched1 == sched2
+        assert job1.counts == job2.counts
+
+    def test_fingerprint_is_order_sensitive(self):
+        _, clean, _, _ = build_streams(ARENA_SMOKE_PRESET)
+        reordered = [clean[1], clean[0]] + list(clean[2:])
+        assert stream_fingerprint(reordered) != stream_fingerprint(clean)
+
+
+class TestReport:
+    def test_smoke_match_passes_every_gate(self, smoke_report):
+        section, problems = smoke_report
+        assert problems == []
+        assert section["determinism"]["bit_identical"] is True
+        assert section["determinism"]["runs"] == 2
+        assert section["rit_sybil_gain_minimal"] is True
+
+    def test_scorecard_covers_the_roster(self, smoke_report):
+        section, _ = smoke_report
+        assert tuple(section["mechanisms"]) == ARENA_SMOKE_PRESET.mechanisms
+        for entry in section["mechanisms"].values():
+            assert entry["accounting"] in ("cumulative", "incremental")
+            for side in ("clean", "attacked"):
+                assert entry[side]["epochs"] > 0
+                assert entry[side]["stream_sha256"] == (
+                    section["stream"][f"{side}_sha256"]
+                )
+
+    def test_glt_budget_checked_exactly(self, smoke_report):
+        section, _ = smoke_report
+        budget = section["mechanisms"]["glt"]["budget"]
+        assert budget["checked"] is True
+        assert budget["consistent"] is True
+        assert budget["budget_cents"] == 100_000
+
+    def test_section_passes_the_bench_validator(self, smoke_report):
+        section, _ = smoke_report
+        assert _validate_arena_section(section) == []
+        # And as part of a full document with other sections absent.
+        assert "arena is not an object" in _validate_arena_section([])
+
+    def test_canonical_scorecard_strips_latency_only(self, smoke_report):
+        section, _ = smoke_report
+        canonical = canonical_scorecard(section)
+        for entry in canonical["mechanisms"].values():
+            assert "latency_seconds" not in entry
+        assert "determinism" not in canonical
+        assert canonical["stream"] == section["stream"]
+        # The original is untouched.
+        assert all(
+            "latency_seconds" in entry
+            for entry in section["mechanisms"].values()
+        )
+
+    def test_render_mentions_every_mechanism(self, smoke_report):
+        section, _ = smoke_report
+        text = render_arena_report(section)
+        for name in ARENA_SMOKE_PRESET.mechanisms:
+            assert name in text
+        assert "bit_identical=True" in text
+
+    def test_section_is_json_serializable(self, smoke_report):
+        section, _ = smoke_report
+        round_tripped = json.loads(json.dumps(section, sort_keys=True))
+        assert round_tripped["config"]["seed"] == ARENA_SMOKE_PRESET.seed
+
+
+class TestValidatorRejections:
+    def test_rejects_missing_mechanisms(self, smoke_report):
+        section, _ = smoke_report
+        broken = json.loads(json.dumps(section))
+        del broken["mechanisms"]["rit"]
+        errors = _validate_arena_section(broken)
+        assert any("must include 'rit'" in e for e in errors)
+        assert any("at least 4" in e for e in errors)
+
+    def test_rejects_non_deterministic_rerun(self, smoke_report):
+        section, _ = smoke_report
+        broken = json.loads(json.dumps(section))
+        broken["determinism"]["bit_identical"] = False
+        errors = _validate_arena_section(broken)
+        assert any("bit_identical" in e for e in errors)
+
+    def test_rejects_budget_violation(self, smoke_report):
+        section, _ = smoke_report
+        broken = json.loads(json.dumps(section))
+        broken["mechanisms"]["glt"]["budget"]["consistent"] = False
+        errors = _validate_arena_section(broken)
+        assert any("budget.consistent" in e for e in errors)
+
+    def test_rejects_diverged_stream_fingerprint(self, smoke_report):
+        section, _ = smoke_report
+        broken = json.loads(json.dumps(section))
+        broken["mechanisms"]["omg"]["attacked"]["stream_sha256"] = "0" * 64
+        errors = _validate_arena_section(broken)
+        assert any("diverges from the match reference" in e for e in errors)
+
+    def test_rejects_rit_losing_on_sybil_gain(self, smoke_report):
+        section, _ = smoke_report
+        broken = json.loads(json.dumps(section))
+        broken["rit_sybil_gain_minimal"] = False
+        errors = _validate_arena_section(broken)
+        assert any("rit_sybil_gain_minimal" in e for e in errors)
+
+    def test_rejects_unknown_mechanism(self, smoke_report):
+        section, _ = smoke_report
+        broken = json.loads(json.dumps(section))
+        broken["mechanisms"]["vcg"] = broken["mechanisms"]["omg"]
+        errors = _validate_arena_section(broken)
+        assert any("unknown mechanism" in e for e in errors)

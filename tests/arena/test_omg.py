@@ -1,0 +1,159 @@
+"""OMG mechanism: online arrival, stage budgets, posted-price truthfulness."""
+
+import pytest
+
+from repro.arena import OMGMechanism
+from repro.core.exceptions import ConfigurationError
+from repro.core.types import Ask, Job
+from repro.tree.incentive_tree import ROOT, IncentiveTree
+
+
+def make_tree(user_ids):
+    tree = IncentiveTree()
+    for uid in user_ids:
+        tree.attach(uid, ROOT)
+    return tree
+
+
+def run_epochs(mech, job, epochs):
+    """Drive run_epoch over cumulative ask snapshots; returns outcomes."""
+    out = []
+    cumulative = {}
+    for index, asks in enumerate(epochs):
+        cumulative.update(asks)
+        tree = make_tree(list(cumulative))
+        out.append(mech.run_epoch(job, dict(cumulative), tree, None, index))
+    return out
+
+
+class TestValidation:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            OMGMechanism(budget_per_task=0.0)
+        with pytest.raises(ConfigurationError):
+            OMGMechanism(stage_horizon=0)
+
+
+class TestOnlineArrival:
+    def test_each_user_considered_exactly_once(self):
+        """A loser in epoch 0 is not re-offered in epoch 1 even though the
+        released budget (and hence the posted price) grew."""
+        job = Job.uniform(1, 4)
+        mech = OMGMechanism(budget_per_task=4.0, stage_horizon=2).fresh()
+        # Budget 16, epoch 0 releases 8 -> price 8/4 = 2.0.
+        expensive = {1: Ask(task_type=0, capacity=1, value=3.0)}
+        first = mech.run_epoch(job, expensive, make_tree([1]), None, 0)
+        assert first.allocation == {}
+        # Epoch 1 releases all 16 -> price 4.0 > 3.0, but user 1 already
+        # arrived; only the new user 2 is offered.
+        both = dict(expensive)
+        both[2] = Ask(task_type=0, capacity=1, value=3.0)
+        second = mech.run_epoch(job, both, make_tree([1, 2]), None, 1)
+        assert 1 not in second.allocation
+        assert second.allocation == {2: 1}
+
+    def test_incremental_epochs_are_disjoint(self):
+        job = Job.uniform(1, 6)
+        mech = OMGMechanism(budget_per_task=6.0, stage_horizon=1).fresh()
+        epochs = run_epochs(
+            mech,
+            job,
+            [
+                {1: Ask(task_type=0, capacity=2, value=1.0)},
+                {2: Ask(task_type=0, capacity=2, value=1.0)},
+            ],
+        )
+        assert set(epochs[0].allocation) == {1}
+        assert set(epochs[1].allocation) == {2}
+
+    def test_fresh_resets_arrival_memory(self):
+        job = Job.uniform(1, 2)
+        mech = OMGMechanism().fresh()
+        asks = {1: Ask(task_type=0, capacity=2, value=0.5)}
+        first = mech.run_epoch(job, asks, make_tree([1]), None, 0)
+        assert first.allocation == {1: 2}
+        again = mech.fresh().run_epoch(job, asks, make_tree([1]), None, 0)
+        assert again.allocation == {1: 2}
+
+
+class TestStageBudget:
+    def test_geometric_release_schedule(self):
+        mech = OMGMechanism(budget_per_task=1.0, stage_horizon=4)
+        budget = 16.0
+        released = [mech._released_by(e, budget) for e in range(5)]
+        assert released == [2.0, 4.0, 8.0, 16.0, 16.0]
+
+    def test_total_payment_never_exceeds_budget(self):
+        job = Job.uniform(2, 3)
+        mech = OMGMechanism(budget_per_task=2.0, stage_horizon=3).fresh()
+        epochs = run_epochs(
+            mech,
+            job,
+            [
+                {i: Ask(task_type=i % 2, capacity=2, value=0.1) for i in range(1, 4)},
+                {i: Ask(task_type=i % 2, capacity=2, value=0.2) for i in range(4, 8)},
+                {i: Ask(task_type=i % 2, capacity=1, value=0.3) for i in range(8, 12)},
+            ],
+        )
+        total = sum(sum(o.payments.values()) for o in epochs)
+        assert total <= 2.0 * job.size + 1e-9
+
+    def test_completion_tracks_cumulative_remaining(self):
+        job = Job.uniform(1, 2)
+        mech = OMGMechanism(budget_per_task=5.0, stage_horizon=1).fresh()
+        partial = mech.run_epoch(
+            job, {1: Ask(task_type=0, capacity=1, value=0.5)}, make_tree([1]), None, 0
+        )
+        assert not partial.completed
+        done = mech.run_epoch(
+            job,
+            {
+                1: Ask(task_type=0, capacity=1, value=0.5),
+                2: Ask(task_type=0, capacity=1, value=0.5),
+            },
+            make_tree([1, 2]),
+            None,
+            1,
+        )
+        assert done.completed
+
+
+class TestTruthfulness:
+    def test_payment_is_posted_price_not_bid(self):
+        """Two users differing only in their (winning) bid are paid the
+        same posted price — the payment never reads the accepted bid."""
+        job = Job.uniform(1, 2)
+        base = OMGMechanism(budget_per_task=3.0, stage_horizon=1)
+        outcomes = {}
+        for bid in (0.5, 2.9):
+            mech = base.fresh()
+            asks = {1: Ask(task_type=0, capacity=1, value=bid)}
+            outcomes[bid] = mech.run_epoch(job, asks, make_tree([1]), None, 0)
+        # Posted price = 6 budget / 2 remaining tasks = 3.0 ≥ both bids.
+        assert outcomes[0.5].payments[1] == pytest.approx(3.0)
+        assert outcomes[2.9].payments[1] == pytest.approx(3.0)
+
+    def test_overbidding_the_threshold_just_loses(self):
+        job = Job.uniform(1, 2)
+        mech = OMGMechanism(budget_per_task=3.0, stage_horizon=1).fresh()
+        asks = {1: Ask(task_type=0, capacity=1, value=3.5)}
+        outcome = mech.run_epoch(job, asks, make_tree([1]), None, 0)
+        assert outcome.allocation == {}
+        assert outcome.payments == {}
+
+
+class TestDeterminism:
+    def test_replay_is_bit_identical(self):
+        job = Job.uniform(2, 3)
+        epochs = [
+            {i: Ask(task_type=i % 2, capacity=2, value=0.3 + 0.1 * i) for i in range(1, 5)},
+            {i: Ask(task_type=i % 2, capacity=1, value=0.2) for i in range(5, 9)},
+        ]
+        runs = []
+        for _ in range(2):
+            mech = OMGMechanism(budget_per_task=2.0, stage_horizon=2).fresh()
+            runs.append(run_epochs(mech, job, [dict(e) for e in epochs]))
+        from repro.service.ledger import canonical_outcome
+
+        for left, right in zip(*runs):
+            assert canonical_outcome(left) == canonical_outcome(right)

@@ -83,6 +83,22 @@ class TestLvMoscibroda:
         tree = make_tree([(ROOT, 1), (ROOT, 2)])
         assert lv_moscibroda_rewards(tree, {}) == {1: 0.0, 2: 0.0}
 
+    def test_sole_contributor_clamp_pins_s_equals_payment(self):
+        """Normalizer edge case ``S == p^A_j``: the raw log argument is
+        exactly 0, the clamp floor ``1/(1+S)`` takes over, and the reward
+        is ``2c - ln(1+c)`` — finite for any contribution size."""
+        for c in (0.25, 1.0, 6.0, 1e6):
+            tree = make_tree([(ROOT, 1)])
+            rewards = lv_moscibroda_rewards(tree, {1: c})
+            assert rewards[1] == pytest.approx(2.0 * c - math.log(1.0 + c))
+            assert math.isfinite(rewards[1])
+
+    def test_negative_contribution_raises(self):
+        """Negative contributions are a caller bug, not a silent NaN."""
+        tree = make_tree([(ROOT, 1), (ROOT, 2)])
+        with pytest.raises(ConfigurationError, match="non-negative"):
+            lv_moscibroda_rewards(tree, {1: 4.0, 2: -1.0})
+
 
 class TestPachiraStyle:
     def test_marginal_value_shape(self):

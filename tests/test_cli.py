@@ -199,3 +199,37 @@ class TestTrace:
         payload = json.loads(metrics.read_text())
         assert payload["cra_rounds"]["unit"] == "count"
         assert payload["tasks_allocated"]["value"] == 24
+
+
+class TestArena:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["arena"])
+        assert args.command == "arena"
+        assert args.mechanisms is None
+        assert args.runs == 2
+        assert args.out == "BENCH_RIT.json"
+        assert not args.smoke and not args.json and not args.bench
+
+    def test_unknown_mechanism_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["arena", "--mechanisms", "vcg"])
+
+    def test_unknown_attack_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["arena", "--attack", "ddos"])
+
+    def test_smoke_json_and_bench_merge(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        code = main(
+            ["arena", "--smoke", "--json", "--bench", "--out", str(out)]
+        )
+        assert code == 0
+        stdout = capsys.readouterr().out
+        section = json.loads(stdout[: stdout.rindex("}") + 1])
+        assert section["determinism"]["bit_identical"] is True
+        assert section["rit_sybil_gain_minimal"] is True
+        merged = json.loads(out.read_text())
+        assert merged["arena"]["config"]["users"] == 220
+        from repro.devtools.bench import _validate_arena_section
+
+        assert _validate_arena_section(merged["arena"]) == []

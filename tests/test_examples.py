@@ -16,6 +16,7 @@ EXPECTATIONS = {
     "sybil_attack_demo.py": ["NOT sybil-proof", "RIT's defenses"],
     "design_challenges.py": ["DEVIATION WINS", "honesty holds"],
     "geo_sensing_market.py": ["job completed: True", "per-region market"],
+    "mechanism_arena.py": ["bit_identical=True", "rit sybil gain minimal: True"],
 }
 
 

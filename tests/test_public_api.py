@@ -25,6 +25,7 @@ PACKAGES = [
     "repro.analysis",
     "repro.quality",
     "repro.service",
+    "repro.arena",
 ]
 
 
